@@ -1,0 +1,67 @@
+// Command calibrate sweeps supports and Eclat flattening depths for each
+// dense dataset and prints the quantities the experiment design cares
+// about: itemset counts, per-generation payload pools by representation,
+// and simulated 256-thread speedups. A development aid for fixing the
+// experiment operating points.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/apriori"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/eclat"
+	"repro/internal/machine"
+	"repro/internal/perf"
+	"repro/internal/vertical"
+)
+
+func main() {
+	only := flag.String("only", "", "restrict to one dataset")
+	flag.Parse()
+	cfg := machine.Blacklight()
+	threads := []int{16, 256}
+	for _, d := range datasets.Dense() {
+		if *only != "" && d.Name != *only {
+			continue
+		}
+		db := d.Build(d.ExperimentScale)
+		for _, mult := range []float64{1.25, 1.0, 0.85} {
+			sup := d.DefaultSupport * mult
+			rec := db.Recode(db.AbsoluteSupport(sup))
+			if len(rec.Items) < 3 {
+				continue
+			}
+			// Apriori pools per representation.
+			fmt.Printf("%s@%.3f freqItems=%d\n", d.Name, sup, len(rec.Items))
+			for _, rep := range []vertical.Kind{vertical.Tidset, vertical.Diffset, vertical.Bitvector} {
+				col := &perf.Collector{}
+				opt := core.DefaultOptions(rep, 1)
+				opt.Collector = col
+				res := apriori.Mine(rec, rec.MinSup, opt)
+				var maxPool int64
+				for _, p := range col.Phases {
+					if p.UniqueParent > maxPool {
+						maxPool = p.UniqueParent
+					}
+				}
+				_, sp := machine.Speedup(col, threads, cfg)
+				fmt.Printf("  apriori/%-10v itemsets=%-7d maxPool=%6.2fMB  speedup16=%6.1f speedup256=%6.1f\n",
+					rep, res.Len(), float64(maxPool)/(1<<20), sp[0], sp[1])
+			}
+			for _, rep := range []vertical.Kind{vertical.Tidset, vertical.Diffset} {
+				for _, depth := range []int{3, 4} {
+					col := &perf.Collector{}
+					opt := core.DefaultOptions(rep, 1)
+					opt.Collector = col
+					opt.EclatDepth = depth
+					eclat.Mine(rec, rec.MinSup, opt)
+					_, sp := machine.Speedup(col, threads, cfg)
+					fmt.Printf("  eclat/%-7v d=%d speedup16=%6.1f speedup256=%6.1f\n", rep, depth, sp[0], sp[1])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Command fimmine mines frequent itemsets from a FIMI-format file or one
+// of the built-in synthetic datasets.
+//
+// Usage:
+//
+//	fimmine -dataset chess -support 0.5
+//	fimmine -file retail.dat -support 0.01 -algo apriori -rep tidset -workers 8
+//	fimmine -dataset mushroom -support 0.4 -rules 0.8
+//	fimmine -dataset chess -support 0.5 -closed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	file := flag.String("file", "", "FIMI-format input file")
+	dsName := flag.String("dataset", "", "built-in synthetic dataset (chess, mushroom, pumsb, pumsb_star, T40I10D100K, accidents)")
+	scale := flag.Float64("scale", 1, "synthetic dataset scale factor")
+	support := flag.Float64("support", 0.5, "relative minimum support (0..1]")
+	algoName := flag.String("algo", "eclat", "algorithm: apriori, eclat, fpgrowth")
+	repName := flag.String("rep", "diffset", "representation: tidset, bitvector, diffset, hybrid")
+	workers := flag.Int("workers", 1, "parallel workers")
+	freqOrder := flag.Bool("freq-order", false, "recode items in ascending support order")
+	depth := flag.Int("depth", 0, "Eclat flattening depth (0 = default)")
+	lazy := flag.Bool("lazy", false, "Apriori: count supports before materializing payloads")
+	rules := flag.Float64("rules", 0, "also emit association rules at this confidence (0 = off)")
+	closedOnly := flag.Bool("closed", false, "print only closed itemsets")
+	maximalOnly := flag.Bool("maximal", false, "print only maximal itemsets")
+	quiet := flag.Bool("quiet", false, "print summary only, not the itemsets")
+	flag.Parse()
+
+	db, err := loadDB(*file, *dsName, *scale)
+	if err != nil {
+		fatal(err)
+	}
+
+	var opt fim.Options
+	if opt.Algorithm, err = parseAlgo(*algoName); err != nil {
+		fatal(err)
+	}
+	if opt.Representation, err = parseRep(*repName); err != nil {
+		fatal(err)
+	}
+	opt.Workers = *workers
+	opt.OrderByFrequency = *freqOrder
+	opt.EclatDepth = *depth
+	opt.LazyMaterialize = *lazy
+
+	start := time.Now()
+	res, err := fim.Mine(db, *support, opt)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	counts := res.Decoded()
+	switch {
+	case *closedOnly:
+		counts = decodeAll(res, fim.ClosedItemsets(res))
+	case *maximalOnly:
+		counts = decodeAll(res, fim.MaximalItemsets(res))
+	}
+	if !*quiet {
+		for _, c := range counts {
+			fmt.Printf("%v #%d\n", c.Items, c.Support)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d transactions, support %.3g -> %d itemsets (maxK=%d) in %v [%v/%v x%d]\n",
+		db.Name, db.NumTransactions(), *support, len(counts), res.MaxK, elapsed,
+		opt.Algorithm, opt.Representation, opt.Workers)
+
+	if *rules > 0 {
+		for _, r := range fim.Rules(res, *rules) {
+			fmt.Println(fim.DecodeRule(res, r))
+		}
+	}
+}
+
+func loadDB(file, dsName string, scale float64) (*fim.DB, error) {
+	switch {
+	case file != "" && dsName != "":
+		return nil, fmt.Errorf("fimmine: -file and -dataset are mutually exclusive")
+	case file != "":
+		return fim.ReadFIMIFile(file)
+	case dsName != "":
+		return fim.Dataset(dsName, scale)
+	}
+	return nil, fmt.Errorf("fimmine: one of -file or -dataset is required")
+}
+
+func parseAlgo(s string) (fim.Algorithm, error) {
+	switch s {
+	case "apriori":
+		return fim.Apriori, nil
+	case "eclat":
+		return fim.Eclat, nil
+	case "fpgrowth":
+		return fim.FPGrowth, nil
+	}
+	return 0, fmt.Errorf("fimmine: unknown algorithm %q", s)
+}
+
+func parseRep(s string) (fim.Representation, error) {
+	switch s {
+	case "tidset":
+		return fim.Tidset, nil
+	case "bitvector":
+		return fim.Bitvector, nil
+	case "diffset":
+		return fim.Diffset, nil
+	case "hybrid":
+		return fim.Hybrid, nil
+	}
+	return 0, fmt.Errorf("fimmine: unknown representation %q", s)
+}
+
+func decodeAll(res *fim.Result, cs []fim.ItemsetCount) []fim.ItemsetCount {
+	out := make([]fim.ItemsetCount, len(cs))
+	for i, c := range cs {
+		out[i] = fim.ItemsetCount{Items: res.Rec.Decode(c.Items), Support: c.Support}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

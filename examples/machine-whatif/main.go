@@ -1,0 +1,76 @@
+// Machine what-if: uses the NUMA machine model to ask questions the
+// paper's fixed testbed could not — how would the same mining run scale
+// with bigger blades, a faster interconnect, larger caches, or
+// hyperthreading enabled? One instrumented run of Apriori/tidset on
+// pumsb (the paper's least scalable configuration) is replayed on five
+// hypothetical machines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	db, err := fim.Dataset("pumsb", 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const support = 0.65
+
+	// One instrumented run; every machine below replays the same trace.
+	trace := &fim.Trace{}
+	if _, err := fim.Mine(db, support, fim.Options{
+		Algorithm:      fim.Apriori,
+		Representation: fim.Tidset,
+		Workers:        1,
+		Trace:          trace,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	base := fim.Blacklight()
+	bigBlades := base
+	bigBlades.CoresPerBlade = 64 // fewer NUMA crossings for the same threads
+	fastLink := base
+	fastLink.BisectionBPS *= 8 // NUMAlink upgraded 8x
+	bigCache := base
+	bigCache.CacheBytes *= 16 // candidate levels become cache-resident
+	ht := base.WithHyperthreading(1.05)
+
+	machines := []struct {
+		name string
+		cfg  fim.MachineConfig
+	}{
+		{"Blacklight (paper's machine)", base},
+		{"64-core blades", bigBlades},
+		{"8x interconnect", fastLink},
+		{"16x blade cache", bigCache},
+		{"hyperthreading on", ht},
+	}
+
+	threads := []int{16, 64, 256}
+	fmt.Println("Apriori/tidset on pumsb — the paper's least scalable configuration.")
+	fmt.Println("Simulated speedup of the same run on hypothetical machines:")
+	fmt.Println()
+	fmt.Printf("%-30s", "machine")
+	for _, t := range threads {
+		fmt.Printf("%10d", t)
+	}
+	fmt.Println()
+	for _, m := range machines {
+		sp := fim.SimulateSpeedup(trace, threads, m.cfg)
+		fmt.Printf("%-30s", m.name)
+		for _, s := range sp {
+			fmt.Printf("%10.1f", s)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("Reading: bigger blades and a faster interconnect relieve the NUMA")
+	fmt.Println("wall somewhat; only cache large enough to hold the candidate level")
+	fmt.Println("restores real scaling — which is precisely what the diffset")
+	fmt.Println("representation achieves in software on the original machine.")
+}

@@ -1,0 +1,46 @@
+// Market-basket analysis: the paper's §II motivating application. Mines
+// a synthetic retail dataset (IBM-Quest style, like T40I10D100K), derives
+// association rules, and prints the highest-lift recommendations — the
+// "customers who bought diapers also bought beer" workflow.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"repro"
+)
+
+func main() {
+	// A sparse basket dataset: 25k baskets over ~1000 products.
+	db, err := fim.Dataset("T40I10D100K", 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := db.ComputeStats()
+	fmt.Printf("dataset: %d baskets, %d products, avg basket size %.1f\n\n",
+		st.NumTransactions, st.NumItems, st.AvgLength)
+
+	// Mine itemsets appearing in at least 5%% of baskets.
+	res, err := fim.Mine(db, 0.05, fim.Options{
+		Algorithm:      fim.Eclat,
+		Representation: fim.Diffset,
+		Workers:        runtime.NumCPU(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("frequent itemsets at 5%% support: %d (largest has %d products)\n\n",
+		res.Len(), res.MaxK)
+
+	// Rules with at least 40% confidence, ranked by lift.
+	rules := fim.Rules(res, 0.40)
+	fmt.Printf("association rules at 40%% confidence: %d\n", len(rules))
+	fmt.Println("top recommendations by lift (product codes):")
+	for _, r := range fim.TopRulesByLift(rules, 10) {
+		d := fim.DecodeRule(res, r)
+		fmt.Printf("  customers with %v also buy %v  (conf %.0f%%, lift %.2f, %d baskets)\n",
+			d.Antecedent, d.Consequent, d.Confidence*100, d.Lift, d.Support)
+	}
+}

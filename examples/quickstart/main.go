@@ -1,0 +1,51 @@
+// Quickstart: mine a small market-basket database with the library's
+// default configuration (parallel Eclat over diffsets, the paper's best
+// performer) and print every frequent itemset.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"strings"
+
+	"repro"
+)
+
+// Nine supermarket receipts over five products:
+// 1=bread 2=milk 3=diapers 4=beer 5=eggs.
+const receipts = `1 2 5
+2 4
+2 3
+1 2 4
+1 3
+2 3
+1 3
+1 2 3 5
+1 2 3
+`
+
+var names = map[uint32]string{1: "bread", 2: "milk", 3: "diapers", 4: "beer", 5: "eggs"}
+
+func main() {
+	db, err := fim.ReadFIMI("receipts", strings.NewReader(receipts))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Find every itemset bought together in at least 2 of the 9 receipts.
+	res, err := fim.Mine(db, 2.0/9.0, fim.DefaultOptions(runtime.NumCPU()))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d frequent itemsets (support >= 2 of %d receipts):\n\n",
+		res.Len(), db.NumTransactions())
+	for _, c := range res.Decoded() {
+		var parts []string
+		for _, it := range c.Items {
+			parts = append(parts, names[it])
+		}
+		fmt.Printf("  {%s} bought together %d times\n", strings.Join(parts, ", "), c.Support)
+	}
+}

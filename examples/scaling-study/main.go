@@ -1,0 +1,55 @@
+// Scaling study: the paper's core experiment in miniature. Mines the
+// chess dataset with Apriori and Eclat over all three vertical
+// representations, records each run's parallel structure, and replays it
+// on the simulated Blacklight machine from 1 to 256 threads — printing a
+// speedup table like the paper's Figures 5–8.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	db, err := fim.Dataset("chess", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const support = 0.34
+	threads := []int{1, 16, 32, 64, 128, 256}
+	machine := fim.Blacklight()
+
+	fmt.Printf("chess @ %.0f%% support on a simulated %d-core NUMA machine\n",
+		support*100, 256)
+	fmt.Printf("speedup relative to one thread:\n\n")
+	fmt.Printf("%-22s", "configuration")
+	for _, t := range threads {
+		fmt.Printf("%8d", t)
+	}
+	fmt.Println()
+
+	for _, algo := range []fim.Algorithm{fim.Apriori, fim.Eclat} {
+		for _, rep := range []fim.Representation{fim.Tidset, fim.Bitvector, fim.Diffset} {
+			trace := &fim.Trace{}
+			if _, err := fim.Mine(db, support, fim.Options{
+				Algorithm:      algo,
+				Representation: rep,
+				Workers:        1,
+				Trace:          trace,
+			}); err != nil {
+				log.Fatal(err)
+			}
+			speedups := fim.SimulateSpeedup(trace, threads, machine)
+			fmt.Printf("%-22s", fmt.Sprintf("%v/%v", algo, rep))
+			for _, s := range speedups {
+				fmt.Printf("%8.1f", s)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println("\nThe paper's result in one table: Apriori only keeps scaling with")
+	fmt.Println("diffsets; Eclat scales with every representation and is fastest")
+	fmt.Println("with diffsets.")
+}

@@ -1,0 +1,274 @@
+// Package fim is a parallel frequent itemset mining library: a full
+// reproduction of "Frequent Itemset Mining on Large-Scale Shared Memory
+// Machines" (Zhang, Zhang & Bakos, IEEE CLUSTER 2011).
+//
+// It provides the paper's two parallel miners — Apriori (breadth-first,
+// trie-of-level-tables candidates) and Eclat (depth-first equivalence
+// classes) — over the paper's three vertical transaction representations
+// (tidset, bitvector, diffset), plus an FP-growth baseline, association
+// rule generation, closed/maximal condensation, synthetic equivalents of
+// the paper's datasets, and a simulated NUMA machine that replays
+// instrumented runs to reproduce the paper's 16–256-thread scalability
+// tables and figures.
+//
+// Quick start:
+//
+//	db, _ := fim.ReadFIMIFile("retail.dat")
+//	res, _ := fim.Mine(db, 0.02, fim.Options{
+//		Algorithm: fim.Eclat,
+//		Workers:   runtime.NumCPU(),
+//	})
+//	for _, c := range res.Decoded() {
+//		fmt.Println(c.Items, c.Support)
+//	}
+//
+// See the examples directory for runnable programs and cmd/fimbench for
+// the paper's experiment harness.
+package fim
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/apriori"
+	"repro/internal/assoc"
+	"repro/internal/closed"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/datasets"
+	"repro/internal/eclat"
+	"repro/internal/fpgrowth"
+	"repro/internal/machine"
+	"repro/internal/perf"
+	"repro/internal/sched"
+	"repro/internal/vertical"
+)
+
+// Algorithm selects the mining algorithm.
+type Algorithm = core.Algorithm
+
+// The supported algorithms.
+const (
+	Apriori  = core.Apriori
+	Eclat    = core.Eclat
+	FPGrowth = core.FPGrowth
+)
+
+// Representation selects the vertical transaction layout.
+type Representation = vertical.Kind
+
+// The paper's three vertical representations, plus the Hybrid extension
+// (Zaki's dEclat switch-over: tidsets that become diffsets when smaller).
+const (
+	Tidset    = vertical.Tidset
+	Bitvector = vertical.Bitvector
+	Diffset   = vertical.Diffset
+	Hybrid    = vertical.Hybrid
+)
+
+// Re-exported core types. See the respective internal packages for the
+// full method sets.
+type (
+	// DB is a horizontal transaction database.
+	DB = dataset.DB
+	// Result is the output of a mining run.
+	Result = core.Result
+	// ItemsetCount pairs an itemset with its support.
+	ItemsetCount = core.ItemsetCount
+	// Rule is an association rule.
+	Rule = assoc.Rule
+	// Trace records a run's parallel structure for machine replay.
+	Trace = perf.Collector
+	// MachineConfig describes a simulated NUMA machine.
+	MachineConfig = machine.Config
+	// SchedulePolicy names an OpenMP-style loop schedule.
+	SchedulePolicy = sched.Policy
+)
+
+// Loop schedule policies.
+const (
+	Static  = sched.Static
+	Dynamic = sched.Dynamic
+	Guided  = sched.Guided
+)
+
+// Options configures Mine. The zero value mines with Apriori over
+// tidsets (the zero Algorithm and Representation), which is sound but
+// not the fastest configuration; DefaultOptions returns the paper's
+// preferred one (parallel Eclat over diffsets).
+type Options struct {
+	// Algorithm selects the miner (Apriori, Eclat, FPGrowth).
+	Algorithm Algorithm
+	// Representation selects the vertical layout (Tidset, Bitvector,
+	// Diffset, Hybrid).
+	Representation Representation
+	// Workers is the parallel team size; 0 means serial.
+	Workers int
+	// SchedulePolicy and ScheduleChunk override the algorithm's default
+	// loop schedule when SetSchedule is true.
+	SchedulePolicy SchedulePolicy
+	ScheduleChunk  int
+	SetSchedule    bool
+	// DisablePruning turns off Apriori's subset pruning.
+	DisablePruning bool
+	// EclatDepth sets Eclat's flattening depth (see internal/eclat);
+	// 0 uses the default.
+	EclatDepth int
+	// OrderByFrequency recodes items in ascending support order before
+	// mining (the classic search-tree balancing optimization; ablation
+	// A9). Results are identical after decoding.
+	OrderByFrequency bool
+	// LazyMaterialize makes Apriori prune candidates before allocating
+	// their payloads (ablation A10).
+	LazyMaterialize bool
+	// Trace, when non-nil, records the run for NUMA replay via Simulate.
+	Trace *Trace
+}
+
+// Mine finds all itemsets with relative support >= minSupport (a
+// fraction of the transaction count, e.g. 0.02 for 2%) in db.
+func Mine(db *DB, minSupport float64, opt Options) (*Result, error) {
+	if db == nil {
+		return nil, fmt.Errorf("fim: nil database")
+	}
+	if minSupport < 0 || minSupport > 1 {
+		return nil, fmt.Errorf("fim: relative support %v outside [0, 1]", minSupport)
+	}
+	abs := db.AbsoluteSupport(minSupport)
+	return MineAbsolute(db, abs, opt)
+}
+
+// MineAbsolute is Mine with an absolute transaction-count threshold.
+func MineAbsolute(db *DB, minSupport int, opt Options) (*Result, error) {
+	if db == nil {
+		return nil, fmt.Errorf("fim: nil database")
+	}
+	if minSupport < 1 {
+		return nil, fmt.Errorf("fim: absolute support %d below 1", minSupport)
+	}
+	order := dataset.ByCode
+	if opt.OrderByFrequency {
+		order = dataset.ByFrequency
+	}
+	rec := db.RecodeOrdered(minSupport, order)
+	copt := core.Options{
+		Representation:  opt.Representation,
+		Workers:         opt.Workers,
+		Collector:       opt.Trace,
+		Prune:           !opt.DisablePruning,
+		EclatDepth:      opt.EclatDepth,
+		LazyMaterialize: opt.LazyMaterialize,
+	}
+	if opt.SetSchedule {
+		copt.Schedule = sched.Schedule{Policy: opt.SchedulePolicy, Chunk: opt.ScheduleChunk}
+		copt.HasSchedule = true
+	}
+	switch opt.Algorithm {
+	case core.Apriori:
+		return apriori.Mine(rec, minSupport, copt), nil
+	case core.Eclat:
+		return eclat.Mine(rec, minSupport, copt), nil
+	case core.FPGrowth:
+		return fpgrowth.Mine(rec, minSupport, copt), nil
+	}
+	return nil, fmt.Errorf("fim: unknown algorithm %v", opt.Algorithm)
+}
+
+// DefaultOptions returns the paper's preferred configuration: parallel
+// Eclat over diffsets.
+func DefaultOptions(workers int) Options {
+	return Options{Algorithm: Eclat, Representation: Diffset, Workers: workers}
+}
+
+// ReadFIMI parses a database in FIMI repository text format (one
+// transaction per line, space-separated non-negative integer items).
+func ReadFIMI(name string, r io.Reader) (*DB, error) {
+	return dataset.ReadFIMI(name, r)
+}
+
+// ReadFIMIFile reads a FIMI-format file from disk.
+func ReadFIMIFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadFIMI(path, f)
+}
+
+// WriteFIMI writes db in FIMI text format.
+func WriteFIMI(w io.Writer, db *DB) error {
+	return dataset.WriteFIMI(w, db)
+}
+
+// Rules derives association rules with confidence >= minConfidence from
+// a mining result.
+func Rules(res *Result, minConfidence float64) []Rule {
+	return assoc.Generate(res, minConfidence)
+}
+
+// RulesParallel is Rules with the per-itemset search spread over a
+// worker team; output is identical.
+func RulesParallel(res *Result, minConfidence float64, workers int) []Rule {
+	return assoc.GenerateParallel(res, minConfidence, workers)
+}
+
+// DecodeRule maps a rule back to the database's original item codes.
+func DecodeRule(res *Result, r Rule) Rule {
+	return assoc.Decode(res, r)
+}
+
+// TopRulesByLift returns the n highest-lift rules.
+func TopRulesByLift(rules []Rule, n int) []Rule {
+	return assoc.TopByLift(rules, n)
+}
+
+// ClosedItemsets filters a result to its closed itemsets (no superset
+// with equal support).
+func ClosedItemsets(res *Result) []ItemsetCount {
+	return closed.Closed(res)
+}
+
+// MaximalItemsets filters a result to its maximal itemsets (no frequent
+// superset).
+func MaximalItemsets(res *Result) []ItemsetCount {
+	return closed.Maximal(res)
+}
+
+// Dataset builds one of the paper's synthetic datasets by name (chess,
+// mushroom, pumsb, pumsb_star, T40I10D100K, accidents) at the given
+// scale (1 = published transaction count).
+func Dataset(name string, scale float64) (*DB, error) {
+	d, err := datasets.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return d.Build(scale), nil
+}
+
+// DatasetNames lists the available synthetic datasets.
+func DatasetNames() []string {
+	var names []string
+	for _, d := range datasets.All() {
+		names = append(names, d.Name)
+	}
+	return names
+}
+
+// Blacklight returns the simulated machine configuration of the paper's
+// testbed.
+func Blacklight() MachineConfig { return machine.Blacklight() }
+
+// Simulate replays a recorded trace (Options.Trace) on a simulated NUMA
+// machine at the given thread count, returning the simulated seconds.
+func Simulate(trace *Trace, threads int, cfg MachineConfig) float64 {
+	return machine.Simulate(trace, threads, cfg).Seconds
+}
+
+// SimulateSpeedup returns the simulated speedup curve of a trace over
+// the given thread counts, relative to one thread.
+func SimulateSpeedup(trace *Trace, threads []int, cfg MachineConfig) []float64 {
+	_, speedups := machine.Speedup(trace, threads, cfg)
+	return speedups
+}

@@ -1,0 +1,211 @@
+package fim
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/verify"
+)
+
+const classic = `1 2 5
+2 4
+2 3
+1 2 4
+1 3
+2 3
+1 3
+1 2 3 5
+1 2 3
+`
+
+func classicDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := ReadFIMI("classic", strings.NewReader(classic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestMineFacade(t *testing.T) {
+	db := classicDB(t)
+	for _, algo := range []Algorithm{Apriori, Eclat, FPGrowth} {
+		for _, rep := range []Representation{Tidset, Bitvector, Diffset} {
+			res, err := Mine(db, 2.0/9.0, Options{Algorithm: algo, Representation: rep, Workers: 2})
+			if err != nil {
+				t.Fatalf("%v/%v: %v", algo, rep, err)
+			}
+			if res.Len() != 13 {
+				t.Errorf("%v/%v: %d itemsets, want 13", algo, rep, res.Len())
+			}
+		}
+	}
+}
+
+func TestMineValidation(t *testing.T) {
+	db := classicDB(t)
+	if _, err := Mine(nil, 0.5, Options{}); err == nil {
+		t.Error("nil DB accepted")
+	}
+	if _, err := Mine(db, -0.1, Options{}); err == nil {
+		t.Error("negative support accepted")
+	}
+	if _, err := Mine(db, 1.5, Options{}); err == nil {
+		t.Error("support > 1 accepted")
+	}
+	if _, err := MineAbsolute(db, 0, Options{}); err == nil {
+		t.Error("absolute support 0 accepted")
+	}
+	if _, err := Mine(db, 0.5, Options{Algorithm: Algorithm(42)}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestMineAgainstReference(t *testing.T) {
+	db := classicDB(t)
+	rec := db.Recode(2)
+	ref := verify.Reference(rec, 2)
+	res, err := Mine(db, 2.0/9.0, DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equal(ref) {
+		t.Errorf("facade result differs:\n%s", verify.Diff(res, ref))
+	}
+}
+
+func TestRulesFacade(t *testing.T) {
+	db := classicDB(t)
+	res, err := Mine(db, 2.0/9.0, DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := Rules(res, 0.6)
+	if len(rules) == 0 {
+		t.Fatal("no rules")
+	}
+	for _, r := range rules {
+		if r.Confidence < 0.6 {
+			t.Errorf("rule %v below confidence threshold", r)
+		}
+	}
+	top := TopRulesByLift(rules, 2)
+	if len(top) != 2 {
+		t.Errorf("TopRulesByLift = %d", len(top))
+	}
+	d := DecodeRule(res, rules[0])
+	if d.Support != rules[0].Support {
+		t.Error("decode changed support")
+	}
+}
+
+func TestCondensationFacade(t *testing.T) {
+	db := classicDB(t)
+	res, _ := Mine(db, 2.0/9.0, DefaultOptions(1))
+	cl := ClosedItemsets(res)
+	mx := MaximalItemsets(res)
+	if len(mx) > len(cl) || len(cl) > res.Len() {
+		t.Errorf("condensation ordering violated: %d maximal, %d closed, %d all",
+			len(mx), len(cl), res.Len())
+	}
+}
+
+func TestDatasetFacade(t *testing.T) {
+	names := DatasetNames()
+	if len(names) != 6 {
+		t.Fatalf("DatasetNames = %v", names)
+	}
+	db, err := Dataset("chess", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumTransactions() == 0 {
+		t.Error("empty chess build")
+	}
+	if _, err := Dataset("nope", 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestSimulateFacade(t *testing.T) {
+	db := classicDB(t)
+	trace := &Trace{}
+	if _, err := Mine(db, 2.0/9.0, Options{Algorithm: Eclat, Representation: Diffset, Workers: 1, Trace: trace}); err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Phases) == 0 {
+		t.Fatal("trace empty")
+	}
+	cfg := Blacklight()
+	one := Simulate(trace, 1, cfg)
+	many := Simulate(trace, 64, cfg)
+	if one <= 0 || many <= 0 || many > one {
+		t.Errorf("simulated times: 1->%v 64->%v", one, many)
+	}
+	sp := SimulateSpeedup(trace, []int{1, 16}, cfg)
+	if sp[0] < 0.99 || sp[0] > 1.01 || sp[1] <= 1 {
+		t.Errorf("speedups = %v", sp)
+	}
+}
+
+func TestFIMIRoundTripFacade(t *testing.T) {
+	db := classicDB(t)
+	var buf bytes.Buffer
+	if err := WriteFIMI(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFIMI("rt", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTransactions() != db.NumTransactions() {
+		t.Error("round trip changed size")
+	}
+}
+
+func TestReadFIMIFile(t *testing.T) {
+	path := t.TempDir() + "/mini.dat"
+	if err := writeFile(path, "1 2\n2 3\n"); err != nil {
+		t.Fatal(err)
+	}
+	db, err := ReadFIMIFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumTransactions() != 2 {
+		t.Errorf("transactions = %d", db.NumTransactions())
+	}
+	if _, err := ReadFIMIFile(path + ".missing"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestOrderByFrequencyAgrees(t *testing.T) {
+	db := classicDB(t)
+	base, err := Mine(db, 2.0/9.0, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions(2)
+	opt.OrderByFrequency = true
+	reord, err := Mine(db, 2.0/9.0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dense codes differ; decoded itemsets must be identical.
+	a, b := base.Decoded(), reord.Decoded()
+	if len(a) != len(b) {
+		t.Fatalf("itemset counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Items.Equal(b[i].Items) || a[i].Support != b[i].Support {
+			t.Errorf("mismatch at %d: %v/%d vs %v/%d", i, a[i].Items, a[i].Support, b[i].Items, b[i].Support)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package apriori implements Algorithm 1 of the paper: generational
+// (breadth-first) frequent itemset mining over any vertical
+// representation (the paper's three plus the hybrid extension), with the
+// support-counting loop parallelized by an OpenMP-style worker team
+// under static scheduling (§III).
+//
+// Per generation the miner:
+//
+//  1. joins sibling pairs of the candidate trie's top level
+//     (candidate_generation),
+//  2. optionally prunes candidates with an infrequent subset,
+//  3. counts every candidate's support in parallel — each iteration
+//     combines the candidate's two parent payloads into its own payload,
+//     with no shared mutable state ("each thread calculates an
+//     independent support and does not have data dependency"),
+//  4. commits the frequent survivors as the next trie level
+//     (candidate_pruning).
+//
+// The loop terminates when a generation yields no frequent candidates.
+//
+// Because every generation retains the payload of every frequent
+// candidate, Apriori's working set is the full breadth of a level — the
+// memory-footprint property behind its poor tidset/bitvector scalability
+// in the paper's evaluation (§V-A).
+package apriori
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/sched"
+	"repro/internal/trie"
+	"repro/internal/vertical"
+)
+
+// DefaultSchedule is the paper's choice for Apriori's support-counting
+// loop: static scheduling ("the static scheduling can partition the
+// workload as there [are] enough iterations").
+var DefaultSchedule = sched.Schedule{Policy: sched.Static}
+
+// Mine runs Apriori over the recoded database with the given absolute
+// minimum support.
+func Mine(rec *dataset.Recoded, minSup int, opt core.Options) *core.Result {
+	if minSup < 1 {
+		minSup = 1
+	}
+	rep := vertical.New(opt.Representation)
+	schedule := DefaultSchedule
+	if opt.HasSchedule {
+		schedule = opt.Schedule
+	}
+	team := sched.NewTeam(opt.Workers)
+	col := opt.Collector
+
+	res := &core.Result{
+		Algorithm:      core.Apriori,
+		Representation: opt.Representation,
+		MinSup:         minSup,
+		Rec:            rec,
+	}
+
+	// Generation 1: the recode pass already counted item supports.
+	tr := trie.NewRoot(itemSupports(rec))
+	nodes := rep.Roots(rec) // payload of each level-1 node, index-aligned with the trie level
+	if root := col.NewPhase("apriori/roots", schedule, true, len(nodes)); root != nil {
+		for i, n := range nodes {
+			root.Add(i, int64(n.Bytes()), 0, int64(n.Bytes()))
+		}
+	}
+
+	for gen := 1; tr.Levels[len(tr.Levels)-1].Len() != 0; gen++ {
+		cands := tr.Generate()
+		if opt.Prune {
+			tr.Prune(cands)
+		}
+		n := cands.Len()
+		if n == 0 {
+			break
+		}
+		phase := col.NewPhase(fmt.Sprintf("apriori/gen%d", gen+1), schedule, true, n)
+		// Serial overhead of generation + pruning: proportional to the
+		// candidate rows touched.
+		phase.AddSerial(int64(n) * 16)
+		if phase != nil {
+			// The parent pool is the previous level's payloads, shared
+			// machine-wide.
+			phase.UniqueParent = MemoryFootprint(nodes)
+		}
+
+		counter, lazy := rep.(vertical.SupportOnly)
+		lazy = lazy && opt.LazyMaterialize
+
+		// Parallel support counting (Algorithm 1 line 8, parallelized
+		// over the outermost per-candidate loop). Under lazy
+		// materialization only the supports are computed here; payloads
+		// are allocated for the frequent survivors afterwards.
+		childNodes := make([]vertical.Node, n)
+		team.For(n, schedule, func(_, i int) {
+			px := nodes[cands.Px[i]]
+			py := nodes[cands.Py[i]]
+			cost := int64(vertical.CombineCost(px, py))
+			if lazy {
+				cands.Level.Supports[i] = counter.CombineSupport(px, py)
+				phase.Add(i, cost, cost, 0)
+				return
+			}
+			child := rep.Combine(px, py)
+			childNodes[i] = child
+			cands.Level.Supports[i] = child.Support()
+			phase.Add(i, cost+int64(child.Bytes()), cost, int64(child.Bytes()))
+		})
+
+		level, kept := tr.Commit(cands, minSup)
+		phase.AddSerial(int64(n) * 8)
+		// Carry forward only the frequent payloads, aligned with the new
+		// level; lazy runs materialize the survivors here, paying the
+		// parent reads a second time but allocating nothing for the
+		// pruned candidates.
+		next := make([]vertical.Node, level.Len())
+		if lazy {
+			parents := nodes
+			pxs := make([]int32, len(kept))
+			pys := make([]int32, len(kept))
+			for w, i := range kept {
+				pxs[w], pys[w] = cands.Px[i], cands.Py[i]
+			}
+			mat := col.NewPhase(fmt.Sprintf("apriori/gen%d-materialize", gen+1), schedule, true, len(kept))
+			if mat != nil {
+				mat.UniqueParent = MemoryFootprint(parents)
+			}
+			team.For(len(kept), schedule, func(_, w int) {
+				px := parents[pxs[w]]
+				py := parents[pys[w]]
+				child := rep.Combine(px, py)
+				next[w] = child
+				cost := int64(vertical.CombineCost(px, py))
+				mat.Add(w, cost+int64(child.Bytes()), cost, int64(child.Bytes()))
+			})
+		} else {
+			for w, i := range kept {
+				next[w] = childNodes[i]
+			}
+		}
+		nodes = next
+	}
+
+	sets, sups := tr.FrequentItemsets()
+	res.Counts = make([]core.ItemsetCount, len(sets))
+	for i := range sets {
+		res.Counts[i] = core.ItemsetCount{Items: sets[i], Support: sups[i]}
+		if len(sets[i]) > res.MaxK {
+			res.MaxK = len(sets[i])
+		}
+	}
+	return res
+}
+
+// itemSupports extracts the per-item supports recorded by the recode pass.
+func itemSupports(rec *dataset.Recoded) []int {
+	sups := make([]int, len(rec.Items))
+	for i, fi := range rec.Items {
+		sups[i] = fi.Support
+	}
+	return sups
+}
+
+// MemoryFootprint reports the total payload bytes a representation holds
+// for one generation's frequent nodes — the quantity §V-A argues makes
+// tidset/bitvector Apriori non-scalable. Exposed for the
+// memory-footprint ablation (experiment A2).
+func MemoryFootprint(nodes []vertical.Node) int64 {
+	var b int64
+	for _, n := range nodes {
+		b += int64(n.Bytes())
+	}
+	return b
+}

@@ -1,0 +1,214 @@
+// Package bitvec implements fixed-length packed bit vectors, the "vertical
+// bitvector" representation of §II-B of the paper. Each itemset carries a
+// bitmask over all transactions; bit t is set iff transaction t contains
+// the itemset. Support counting is a bitwise AND followed by a population
+// count.
+//
+// For dense data the bitvector is substantially smaller than the tidset
+// and the AND+popcount kernel is branch-free, which is why the paper
+// evaluates it as a third representation. Its fixed length is also its
+// weakness: candidates deep in the search keep paying for the full
+// transaction universe even when their support is tiny — the memory
+// pressure behind Apriori-bitvector's scalability collapse (§V-A).
+package bitvec
+
+import (
+	"math/bits"
+
+	"repro/internal/tidset"
+)
+
+const wordBits = 64
+
+// Vector is a packed bit vector over a fixed universe of N transactions.
+// The universe size is carried by the vector's bit length; all binary
+// operations require equal lengths.
+type Vector struct {
+	words []uint64
+	n     int // number of valid bits
+}
+
+// New returns an all-zero vector over n transactions.
+func New(n int) *Vector {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return &Vector{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromTIDs builds a vector over n transactions with the given tids set.
+func FromTIDs(n int, tids tidset.Set) *Vector {
+	v := New(n)
+	for _, t := range tids {
+		v.Set(t)
+	}
+	return v
+}
+
+// Len returns the universe size (number of transactions).
+func (v *Vector) Len() int { return v.n }
+
+// Words returns the memory footprint in 8-byte words, for the perf
+// instrumentation's traffic accounting.
+func (v *Vector) Words() int { return len(v.words) }
+
+// Set sets bit t. It panics if t is out of range, since that means the
+// caller built the vector over the wrong universe.
+func (v *Vector) Set(t tidset.TID) {
+	if int(t) >= v.n {
+		panic("bitvec: Set out of range")
+	}
+	v.words[t/wordBits] |= 1 << (t % wordBits)
+}
+
+// Clear clears bit t.
+func (v *Vector) Clear(t tidset.TID) {
+	if int(t) >= v.n {
+		panic("bitvec: Clear out of range")
+	}
+	v.words[t/wordBits] &^= 1 << (t % wordBits)
+}
+
+// Test reports whether bit t is set.
+func (v *Vector) Test(t tidset.TID) bool {
+	if int(t) >= v.n {
+		return false
+	}
+	return v.words[t/wordBits]&(1<<(t%wordBits)) != 0
+}
+
+// Count returns the number of set bits — the support of the itemset the
+// vector represents.
+func (v *Vector) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns an independent copy of v.
+func (v *Vector) Clone() *Vector {
+	w := make([]uint64, len(v.words))
+	copy(w, v.words)
+	return &Vector{words: w, n: v.n}
+}
+
+// Equal reports whether v and u have the same length and bits.
+func (v *Vector) Equal(u *Vector) bool {
+	if v.n != u.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != u.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// And returns v AND u as a new vector.
+func (v *Vector) And(u *Vector) *Vector {
+	out := New(v.n)
+	out.AndInto(v, u)
+	return out
+}
+
+// AndInto stores a AND b into v (which must have the same length) and
+// returns v, allowing per-worker scratch reuse in the mining hot loop.
+func (v *Vector) AndInto(a, b *Vector) *Vector {
+	checkLen(a, b)
+	checkLen(v, a)
+	for i := range v.words {
+		v.words[i] = a.words[i] & b.words[i]
+	}
+	return v
+}
+
+// AndCount returns popcount(v AND u) without materializing the result.
+func (v *Vector) AndCount(u *Vector) int {
+	checkLen(v, u)
+	c := 0
+	for i := range v.words {
+		c += bits.OnesCount64(v.words[i] & u.words[i])
+	}
+	return c
+}
+
+// AndNot returns v AND NOT u as a new vector (set difference).
+func (v *Vector) AndNot(u *Vector) *Vector {
+	out := New(v.n)
+	out.AndNotInto(v, u)
+	return out
+}
+
+// AndNotInto stores a AND NOT b into v and returns v.
+func (v *Vector) AndNotInto(a, b *Vector) *Vector {
+	checkLen(a, b)
+	checkLen(v, a)
+	for i := range v.words {
+		v.words[i] = a.words[i] &^ b.words[i]
+	}
+	return v
+}
+
+// Or returns v OR u as a new vector.
+func (v *Vector) Or(u *Vector) *Vector {
+	checkLen(v, u)
+	out := New(v.n)
+	for i := range out.words {
+		out.words[i] = v.words[i] | u.words[i]
+	}
+	return out
+}
+
+// Not returns the complement of v within its universe. Bits beyond Len()
+// in the last word stay zero, preserving Count correctness.
+func (v *Vector) Not() *Vector {
+	out := New(v.n)
+	for i := range out.words {
+		out.words[i] = ^v.words[i]
+	}
+	out.maskTail()
+	return out
+}
+
+// maskTail zeroes the padding bits of the final word.
+func (v *Vector) maskTail() {
+	if r := v.n % wordBits; r != 0 && len(v.words) > 0 {
+		v.words[len(v.words)-1] &= (1 << r) - 1
+	}
+}
+
+// TIDs returns the set bits as a tidset, ascending.
+func (v *Vector) TIDs() tidset.Set {
+	out := make(tidset.Set, 0, v.Count())
+	for wi, w := range v.words {
+		base := tidset.TID(wi * wordBits)
+		for w != 0 {
+			out = append(out, base+tidset.TID(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Range calls f for each set bit in ascending order; f returning false
+// stops the iteration early.
+func (v *Vector) Range(f func(tidset.TID) bool) {
+	for wi, w := range v.words {
+		base := tidset.TID(wi * wordBits)
+		for w != 0 {
+			if !f(base + tidset.TID(bits.TrailingZeros64(w))) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+func checkLen(a, b *Vector) {
+	if a.n != b.n {
+		panic("bitvec: length mismatch")
+	}
+}

@@ -1,0 +1,137 @@
+package closed
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eclat"
+	"repro/internal/itemset"
+	"repro/internal/vertical"
+)
+
+func mined(t *testing.T, text string, minSup int) *core.Result {
+	t.Helper()
+	db, err := dataset.ReadFIMI("t", strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := db.Recode(minSup)
+	return eclat.Mine(rec, minSup, core.DefaultOptions(vertical.Tidset, 1))
+}
+
+func keys(cs []core.ItemsetCount) map[string]int {
+	m := make(map[string]int, len(cs))
+	for _, c := range cs {
+		m[c.Items.Key()] = c.Support
+	}
+	return m
+}
+
+func TestClosedBasic(t *testing.T) {
+	// Items 1 and 2 always co-occur: {1}, {2} have the same support as
+	// {1,2}, so only {1,2} is closed among them. Item 3 appears alone
+	// once more, so {3} is closed.
+	res := mined(t, "1 2 3\n1 2 3\n1 2\n3\n", 2)
+	cl := keys(Closed(res))
+	// dense: 1->0, 2->1, 3->2
+	if _, ok := cl[itemset.New(0).Key()]; ok {
+		t.Error("{1} reported closed despite equal-support superset")
+	}
+	if _, ok := cl[itemset.New(0, 1).Key()]; !ok {
+		t.Error("{1,2} not reported closed")
+	}
+	if _, ok := cl[itemset.New(2).Key()]; !ok {
+		t.Error("{3} not reported closed")
+	}
+}
+
+func TestMaximalBasic(t *testing.T) {
+	res := mined(t, "1 2 3\n1 2 3\n1 2\n3\n", 2)
+	mx := keys(Maximal(res))
+	// {1,2,3} has support 2: frequent and maximal; everything else has a
+	// frequent superset.
+	if len(mx) != 1 {
+		t.Fatalf("maximal = %v", mx)
+	}
+	if _, ok := mx[itemset.New(0, 1, 2).Key()]; !ok {
+		t.Error("{1,2,3} not maximal")
+	}
+}
+
+func TestSummarizeOrdering(t *testing.T) {
+	res := mined(t, "1 2 3\n1 2 3\n1 2\n1 3\n2 3\n", 2)
+	s := Summarize(res)
+	if s.Maximal > s.Closed || s.Closed > s.All {
+		t.Errorf("condensation violated: %+v", s)
+	}
+	if s.All == 0 {
+		t.Error("empty result")
+	}
+}
+
+func TestEmptyResult(t *testing.T) {
+	res := mined(t, "1\n2\n", 2)
+	if len(Closed(res)) != 0 || len(Maximal(res)) != 0 {
+		t.Error("non-empty condensation of empty result")
+	}
+}
+
+// Properties against brute-force definitions.
+func TestQuickDefinitions(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25}
+	law := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := &dataset.DB{Name: "rand"}
+		for i := 0; i < 10+r.Intn(25); i++ {
+			var items []itemset.Item
+			for it := 0; it < 5; it++ {
+				if r.Intn(2) == 0 {
+					items = append(items, itemset.Item(it))
+				}
+			}
+			if len(items) == 0 {
+				items = append(items, 0)
+			}
+			db.Transactions = append(db.Transactions, itemset.New(items...))
+		}
+		minSup := 2 + r.Intn(3)
+		rec := db.Recode(minSup)
+		res := eclat.Mine(rec, minSup, core.DefaultOptions(vertical.Diffset, 1))
+		all := res.Counts
+		closedGot := keys(Closed(res))
+		maxGot := keys(Maximal(res))
+		// Brute force both definitions over all frequent itemsets.
+		for _, c := range all {
+			isClosed, isMaximal := true, true
+			for _, o := range all {
+				if len(o.Items) <= len(c.Items) || !c.Items.IsSubsetOf(o.Items) {
+					continue
+				}
+				isMaximal = false
+				if o.Support == c.Support {
+					isClosed = false
+				}
+			}
+			if _, ok := closedGot[c.Items.Key()]; ok != isClosed {
+				return false
+			}
+			if _, ok := maxGot[c.Items.Key()]; ok != isMaximal {
+				return false
+			}
+		}
+		// Maximal ⊆ Closed ⊆ All.
+		for k := range maxGot {
+			if _, ok := closedGot[k]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(law, cfg); err != nil {
+		t.Errorf("closed/maximal definitions: %v", err)
+	}
+}

@@ -1,0 +1,283 @@
+// Package dataset implements the horizontal transaction database: the raw
+// input of frequent itemset mining, as read from FIMI-repository-format
+// files (one transaction per line, space-separated integer items).
+//
+// The package also provides the first mining pass that every algorithm in
+// the paper shares: counting 1-item supports, selecting frequent items,
+// and recoding the database onto a dense item space so the vertical
+// representations (package vertical) can index by item.
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"repro/internal/itemset"
+	"repro/internal/tidset"
+)
+
+// Transaction is one basket: a sorted set of items.
+type Transaction = itemset.Itemset
+
+// DB is a horizontal transaction database.
+type DB struct {
+	// Name identifies the dataset in reports (e.g. "chess").
+	Name string
+	// Transactions holds the baskets in file order; the index of a
+	// transaction is its TID.
+	Transactions []Transaction
+}
+
+// NumTransactions returns |D|.
+func (d *DB) NumTransactions() int { return len(d.Transactions) }
+
+// AbsoluteSupport converts a relative support threshold (fraction of
+// transactions, e.g. 0.2 for "chess@0.2") into an absolute transaction
+// count, rounding up so that rel*|D| is always sufficient. A relative
+// threshold of 0 maps to 1: an itemset must occur at least once.
+func (d *DB) AbsoluteSupport(rel float64) int {
+	if rel <= 0 {
+		return 1
+	}
+	abs := int(rel*float64(len(d.Transactions)) + 0.999999)
+	if abs < 1 {
+		abs = 1
+	}
+	return abs
+}
+
+// Stats summarizes a database the way the paper's Table I does.
+type Stats struct {
+	Name            string
+	NumItems        int     // distinct items appearing in D
+	AvgLength       float64 // average transaction length
+	NumTransactions int
+	SizeBytes       int // size of the FIMI text encoding
+	MaxItem         itemset.Item
+	Density         float64 // avg length / distinct items: 1.0 means every item in every transaction
+}
+
+// ComputeStats scans the database once and fills a Stats.
+func (d *DB) ComputeStats() Stats {
+	seen := make(map[itemset.Item]struct{})
+	totalLen := 0
+	size := 0
+	var maxItem itemset.Item
+	for _, tr := range d.Transactions {
+		totalLen += len(tr)
+		for _, it := range tr {
+			seen[it] = struct{}{}
+			if it > maxItem {
+				maxItem = it
+			}
+			// digits + separator, matching the FIMI text encoding
+			size += len(strconv.FormatUint(uint64(it), 10)) + 1
+		}
+	}
+	s := Stats{
+		Name:            d.Name,
+		NumItems:        len(seen),
+		NumTransactions: len(d.Transactions),
+		SizeBytes:       size,
+		MaxItem:         maxItem,
+	}
+	if len(d.Transactions) > 0 {
+		s.AvgLength = float64(totalLen) / float64(len(d.Transactions))
+	}
+	if s.NumItems > 0 {
+		s.Density = s.AvgLength / float64(s.NumItems)
+	}
+	return s
+}
+
+// ItemCounts returns the support of every item, as a map.
+func (d *DB) ItemCounts() map[itemset.Item]int {
+	counts := make(map[itemset.Item]int)
+	for _, tr := range d.Transactions {
+		for _, it := range tr {
+			counts[it]++
+		}
+	}
+	return counts
+}
+
+// FrequentItem describes one frequent item discovered by the first pass.
+type FrequentItem struct {
+	Original itemset.Item // item code in the raw database
+	Support  int
+}
+
+// Recoded is a database restricted to its frequent items and recoded onto
+// the dense item space 0..len(Items)-1, in ascending original-item order.
+// Both miners operate on a Recoded database: its TIDs and dense item codes
+// are what the vertical representations are built from.
+type Recoded struct {
+	DB       *DB            // filtered, recoded transactions
+	Items    []FrequentItem // dense code -> original item + support
+	MinSup   int            // absolute threshold used
+	Universe int            // number of transactions in the original DB
+}
+
+// ItemOrder selects how Recode assigns dense item codes. The mining
+// result is the same set of itemsets either way (modulo decoding); the
+// order changes the shape of the search tree, which the A9 ablation
+// measures.
+type ItemOrder int
+
+const (
+	// ByCode preserves the original item-code order (the paper's
+	// "items in the itemset are sorted according to item number").
+	ByCode ItemOrder = iota
+	// ByFrequency assigns codes in ascending support order, the classic
+	// Eclat/FP-growth optimization: rare items first keeps equivalence
+	// classes small near the root, where the fan-out is widest.
+	ByFrequency
+)
+
+// Recode performs the shared first mining pass: count item supports, keep
+// items with support >= minSup (absolute), sort them by original item
+// code, and rewrite every transaction onto the dense code space with
+// infrequent items dropped. Transactions that become empty are kept (they
+// still occupy a TID) so that supports remain counts over the original
+// transaction universe.
+func (d *DB) Recode(minSup int) *Recoded {
+	return d.RecodeOrdered(minSup, ByCode)
+}
+
+// RecodeOrdered is Recode with an explicit dense-code order.
+func (d *DB) RecodeOrdered(minSup int, order ItemOrder) *Recoded {
+	if minSup < 1 {
+		minSup = 1
+	}
+	counts := d.ItemCounts()
+	var keep []itemset.Item
+	for it, c := range counts {
+		if c >= minSup {
+			keep = append(keep, it)
+		}
+	}
+	switch order {
+	case ByFrequency:
+		sort.Slice(keep, func(i, j int) bool {
+			if counts[keep[i]] != counts[keep[j]] {
+				return counts[keep[i]] < counts[keep[j]]
+			}
+			return keep[i] < keep[j]
+		})
+	default:
+		sort.Slice(keep, func(i, j int) bool { return keep[i] < keep[j] })
+	}
+	code := make(map[itemset.Item]itemset.Item, len(keep))
+	items := make([]FrequentItem, len(keep))
+	for i, it := range keep {
+		code[it] = itemset.Item(i)
+		items[i] = FrequentItem{Original: it, Support: counts[it]}
+	}
+	out := &DB{Name: d.Name, Transactions: make([]Transaction, len(d.Transactions))}
+	for tid, tr := range d.Transactions {
+		nt := make(Transaction, 0, len(tr))
+		for _, it := range tr {
+			if c, ok := code[it]; ok {
+				nt = append(nt, c)
+			}
+		}
+		if order != ByCode {
+			// Frequency order permutes the codes; restore sortedness.
+			sort.Slice(nt, func(i, j int) bool { return nt[i] < nt[j] })
+		}
+		out.Transactions[tid] = nt
+	}
+	return &Recoded{DB: out, Items: items, MinSup: minSup, Universe: len(d.Transactions)}
+}
+
+// Decode maps a dense-coded itemset back to original item codes.
+func (r *Recoded) Decode(s itemset.Itemset) itemset.Itemset {
+	out := make(itemset.Itemset, len(s))
+	for i, c := range s {
+		out[i] = r.Items[c].Original
+	}
+	// Under ByCode recoding out is already sorted; frequency order
+	// permutes the codes, so normalize.
+	return itemset.New(out...)
+}
+
+// TidsetOf returns the tidset of each dense item: the inverted index that
+// seeds every vertical representation.
+func (r *Recoded) TidsetOf() []tidset.Set {
+	sets := make([]tidset.Set, len(r.Items))
+	for i := range sets {
+		sets[i] = make(tidset.Set, 0, r.Items[i].Support)
+	}
+	for tid, tr := range r.DB.Transactions {
+		for _, it := range tr {
+			sets[it] = append(sets[it], tidset.TID(tid))
+		}
+	}
+	return sets
+}
+
+// ReadFIMI parses the FIMI repository text format: one transaction per
+// line, items as whitespace-separated non-negative integers. Blank lines
+// are skipped. Items within a transaction are sorted and deduplicated.
+func ReadFIMI(name string, r io.Reader) (*DB, error) {
+	db := &DB{Name: name}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		var items []itemset.Item
+		i := 0
+		for i < len(line) {
+			// skip whitespace
+			for i < len(line) && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r') {
+				i++
+			}
+			if i >= len(line) {
+				break
+			}
+			start := i
+			for i < len(line) && line[i] != ' ' && line[i] != '\t' && line[i] != '\r' {
+				i++
+			}
+			v, err := strconv.ParseUint(string(line[start:i]), 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: %s line %d: bad item %q: %v", name, lineNo, line[start:i], err)
+			}
+			items = append(items, itemset.Item(v))
+		}
+		if len(items) == 0 {
+			continue
+		}
+		db.Transactions = append(db.Transactions, itemset.New(items...))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: %s: %v", name, err)
+	}
+	return db, nil
+}
+
+// WriteFIMI writes the database in FIMI text format.
+func WriteFIMI(w io.Writer, db *DB) error {
+	bw := bufio.NewWriter(w)
+	for _, tr := range db.Transactions {
+		for i, it := range tr {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatUint(uint64(it), 10)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

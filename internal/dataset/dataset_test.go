@@ -1,0 +1,291 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/itemset"
+	"repro/internal/tidset"
+)
+
+const sample = `1 2 5
+2 4
+2 3
+1 2 4
+1 3
+2 3
+1 3
+1 2 3 5
+1 2 3
+`
+
+func sampleDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := ReadFIMI("sample", strings.NewReader(sample))
+	if err != nil {
+		t.Fatalf("ReadFIMI: %v", err)
+	}
+	return db
+}
+
+func TestReadFIMI(t *testing.T) {
+	db := sampleDB(t)
+	if db.NumTransactions() != 9 {
+		t.Fatalf("NumTransactions = %d, want 9", db.NumTransactions())
+	}
+	if !db.Transactions[0].Equal(itemset.New(1, 2, 5)) {
+		t.Errorf("transaction 0 = %v", db.Transactions[0])
+	}
+	if !db.Transactions[7].Equal(itemset.New(1, 2, 3, 5)) {
+		t.Errorf("transaction 7 = %v", db.Transactions[7])
+	}
+}
+
+func TestReadFIMIMessyInput(t *testing.T) {
+	in := "  3   1  2 \r\n\n\t5 5 5\n"
+	db, err := ReadFIMI("messy", strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadFIMI: %v", err)
+	}
+	if db.NumTransactions() != 2 {
+		t.Fatalf("NumTransactions = %d, want 2", db.NumTransactions())
+	}
+	if !db.Transactions[0].Equal(itemset.New(1, 2, 3)) {
+		t.Errorf("transaction 0 = %v", db.Transactions[0])
+	}
+	if !db.Transactions[1].Equal(itemset.New(5)) {
+		t.Errorf("transaction 1 = %v (duplicates not removed?)", db.Transactions[1])
+	}
+}
+
+func TestReadFIMIRejectsGarbage(t *testing.T) {
+	for _, in := range []string{"1 x 3\n", "-4\n", "99999999999999999999\n"} {
+		if _, err := ReadFIMI("bad", strings.NewReader(in)); err == nil {
+			t.Errorf("ReadFIMI(%q) accepted garbage", in)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	db := sampleDB(t)
+	var buf bytes.Buffer
+	if err := WriteFIMI(&buf, db); err != nil {
+		t.Fatalf("WriteFIMI: %v", err)
+	}
+	back, err := ReadFIMI("sample", &buf)
+	if err != nil {
+		t.Fatalf("ReadFIMI: %v", err)
+	}
+	if back.NumTransactions() != db.NumTransactions() {
+		t.Fatalf("round trip changed transaction count")
+	}
+	for i := range db.Transactions {
+		if !back.Transactions[i].Equal(db.Transactions[i]) {
+			t.Errorf("transaction %d: %v != %v", i, back.Transactions[i], db.Transactions[i])
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	db := sampleDB(t)
+	s := db.ComputeStats()
+	if s.NumTransactions != 9 {
+		t.Errorf("NumTransactions = %d", s.NumTransactions)
+	}
+	if s.NumItems != 5 {
+		t.Errorf("NumItems = %d, want 5", s.NumItems)
+	}
+	wantAvg := 23.0 / 9.0
+	if s.AvgLength < wantAvg-1e-9 || s.AvgLength > wantAvg+1e-9 {
+		t.Errorf("AvgLength = %v, want %v", s.AvgLength, wantAvg)
+	}
+	if s.MaxItem != 5 {
+		t.Errorf("MaxItem = %d", s.MaxItem)
+	}
+	if s.SizeBytes == 0 {
+		t.Error("SizeBytes = 0")
+	}
+}
+
+func TestAbsoluteSupport(t *testing.T) {
+	db := sampleDB(t) // 9 transactions
+	cases := []struct {
+		rel  float64
+		want int
+	}{
+		{0, 1},
+		{-1, 1},
+		{0.2, 2}, // 1.8 -> 2
+		{1.0 / 3, 3},
+		{0.5, 5}, // 4.5 -> 5
+		{1, 9},
+	}
+	for _, c := range cases {
+		if got := db.AbsoluteSupport(c.rel); got != c.want {
+			t.Errorf("AbsoluteSupport(%v) = %d, want %d", c.rel, got, c.want)
+		}
+	}
+}
+
+func TestItemCounts(t *testing.T) {
+	db := sampleDB(t)
+	counts := db.ItemCounts()
+	want := map[itemset.Item]int{1: 6, 2: 7, 3: 6, 4: 2, 5: 2}
+	for it, c := range want {
+		if counts[it] != c {
+			t.Errorf("count[%d] = %d, want %d", it, counts[it], c)
+		}
+	}
+}
+
+func TestRecode(t *testing.T) {
+	db := sampleDB(t)
+	r := db.Recode(3) // keeps items 1,2,3 (supports 6,7,6); drops 4,5
+	if len(r.Items) != 3 {
+		t.Fatalf("kept %d items, want 3", len(r.Items))
+	}
+	for i, want := range []struct {
+		orig itemset.Item
+		sup  int
+	}{{1, 6}, {2, 7}, {3, 6}} {
+		if r.Items[i].Original != want.orig || r.Items[i].Support != want.sup {
+			t.Errorf("Items[%d] = %+v, want {%d %d}", i, r.Items[i], want.orig, want.sup)
+		}
+	}
+	// Transaction count preserved; items remapped to 0,1,2.
+	if r.DB.NumTransactions() != 9 {
+		t.Fatalf("recoded has %d transactions", r.DB.NumTransactions())
+	}
+	if !r.DB.Transactions[0].Equal(itemset.New(0, 1)) { // was {1,2,5} -> {0,1}
+		t.Errorf("recoded transaction 0 = %v", r.DB.Transactions[0])
+	}
+	if !r.DB.Transactions[1].Equal(itemset.New(1)) { // was {2,4} -> {1}
+		t.Errorf("recoded transaction 1 = %v", r.DB.Transactions[1])
+	}
+	// Decode maps back.
+	if got := r.Decode(itemset.New(0, 2)); !got.Equal(itemset.New(1, 3)) {
+		t.Errorf("Decode = %v", got)
+	}
+}
+
+func TestRecodeEdgeCases(t *testing.T) {
+	db := sampleDB(t)
+	// minSup beyond every support: no items survive.
+	r := db.Recode(100)
+	if len(r.Items) != 0 {
+		t.Errorf("Recode(100) kept %d items", len(r.Items))
+	}
+	// minSup < 1 clamps to 1.
+	r = db.Recode(0)
+	if r.MinSup != 1 || len(r.Items) != 5 {
+		t.Errorf("Recode(0): MinSup=%d items=%d", r.MinSup, len(r.Items))
+	}
+	// Empty database.
+	empty := &DB{Name: "empty"}
+	r = empty.Recode(1)
+	if len(r.Items) != 0 || r.DB.NumTransactions() != 0 {
+		t.Error("Recode of empty DB misbehaves")
+	}
+	s := empty.ComputeStats()
+	if s.AvgLength != 0 || s.Density != 0 {
+		t.Error("stats of empty DB should be zero")
+	}
+}
+
+func TestTidsetOf(t *testing.T) {
+	db := sampleDB(t)
+	r := db.Recode(3)
+	sets := r.TidsetOf()
+	if len(sets) != 3 {
+		t.Fatalf("TidsetOf returned %d sets", len(sets))
+	}
+	// item 1 (dense 0) appears in transactions 0,3,4,6,7,8
+	if !sets[0].Equal(tidset.New(0, 3, 4, 6, 7, 8)) {
+		t.Errorf("tidset of item 1 = %v", sets[0])
+	}
+	// item 2 (dense 1): 0,1,2,3,5,7,8
+	if !sets[1].Equal(tidset.New(0, 1, 2, 3, 5, 7, 8)) {
+		t.Errorf("tidset of item 2 = %v", sets[1])
+	}
+	// Each set's length equals the recorded support.
+	for i, s := range sets {
+		if s.Support() != r.Items[i].Support {
+			t.Errorf("tidset %d support %d != recorded %d", i, s.Support(), r.Items[i].Support)
+		}
+	}
+}
+
+// Property: recoding never changes the support of a surviving item, and
+// tidsets are consistent with the horizontal database.
+func TestQuickRecodeConsistency(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	law := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := &DB{Name: "rand"}
+		n := 5 + r.Intn(40)
+		for i := 0; i < n; i++ {
+			k := 1 + r.Intn(6)
+			items := make([]itemset.Item, k)
+			for j := range items {
+				items[j] = itemset.Item(r.Intn(12))
+			}
+			db.Transactions = append(db.Transactions, itemset.New(items...))
+		}
+		minSup := 1 + r.Intn(5)
+		rec := db.Recode(minSup)
+		raw := db.ItemCounts()
+		for _, fi := range rec.Items {
+			if raw[fi.Original] != fi.Support || fi.Support < minSup {
+				return false
+			}
+		}
+		sets := rec.TidsetOf()
+		for i, s := range sets {
+			if !s.IsSorted() || s.Support() != rec.Items[i].Support {
+				return false
+			}
+			for _, tid := range s {
+				if !rec.DB.Transactions[tid].Contains(itemset.Item(i)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(law, cfg); err != nil {
+		t.Errorf("recode consistency: %v", err)
+	}
+}
+
+func TestRecodeOrderedByFrequency(t *testing.T) {
+	db := sampleDB(t)
+	rec := db.RecodeOrdered(2, ByFrequency)
+	// Supports ascending: dense code 0 has the rarest surviving item.
+	for i := 1; i < len(rec.Items); i++ {
+		if rec.Items[i-1].Support > rec.Items[i].Support {
+			t.Fatalf("codes not in ascending support order: %+v", rec.Items)
+		}
+	}
+	// Transactions stay sorted in the dense space.
+	for tid, tr := range rec.DB.Transactions {
+		if !tr.IsSorted() {
+			t.Errorf("transaction %d unsorted: %v", tid, tr)
+		}
+	}
+	// Decode returns sorted original codes.
+	if len(rec.Items) >= 2 {
+		dec := rec.Decode(itemset.New(0, 1))
+		if !dec.IsSorted() {
+			t.Errorf("decode unsorted: %v", dec)
+		}
+	}
+	// Tidsets remain consistent with supports.
+	for i, s := range rec.TidsetOf() {
+		if s.Support() != rec.Items[i].Support {
+			t.Errorf("tidset %d support %d != %d", i, s.Support(), rec.Items[i].Support)
+		}
+	}
+}

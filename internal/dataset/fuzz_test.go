@@ -1,0 +1,49 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadFIMI checks the reader never panics and that every accepted
+// database is well-formed (sorted, deduplicated transactions) and
+// round-trips through WriteFIMI.
+func FuzzReadFIMI(f *testing.F) {
+	f.Add("1 2 3\n4 5\n")
+	f.Add("")
+	f.Add("  7   7 7\n\n\n9\n")
+	f.Add("999999999 0\n")
+	f.Add("1 x\n")
+	f.Add("-1\n")
+	f.Add("\t\r\n 3\r\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		db, err := ReadFIMI("fuzz", strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		for _, tr := range db.Transactions {
+			if len(tr) == 0 {
+				t.Fatal("empty transaction accepted")
+			}
+			if !tr.IsSorted() {
+				t.Fatalf("unsorted transaction: %v", tr)
+			}
+		}
+		var buf strings.Builder
+		if err := WriteFIMI(&buf, db); err != nil {
+			t.Fatalf("WriteFIMI: %v", err)
+		}
+		back, err := ReadFIMI("fuzz2", strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.NumTransactions() != db.NumTransactions() {
+			t.Fatalf("round trip changed size: %d vs %d", back.NumTransactions(), db.NumTransactions())
+		}
+		for i := range db.Transactions {
+			if !back.Transactions[i].Equal(db.Transactions[i]) {
+				t.Fatalf("round trip changed transaction %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,135 @@
+package datasets
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eclat"
+	"repro/internal/verify"
+	"repro/internal/vertical"
+)
+
+// TestShapesMatchPublished checks, at a reduced scale, that every
+// synthetic dataset reproduces the published per-row shape: item-per-
+// transaction structure and item universe. Item counts are checked
+// loosely because rare values need many rows to appear.
+func TestShapesMatchPublished(t *testing.T) {
+	for _, d := range All() {
+		db := d.Build(0.05)
+		st := db.ComputeStats()
+		if st.NumTransactions == 0 {
+			t.Fatalf("%s: empty build", d.Name)
+		}
+		// Average length within 15% of the published value (pumsb_star's
+		// derivation makes it the loosest).
+		lo, hi := d.PaperAvgLen*0.80, d.PaperAvgLen*1.25
+		if st.AvgLength < lo || st.AvgLength > hi {
+			t.Errorf("%s: avg length %.1f outside [%.1f, %.1f]", d.Name, st.AvgLength, lo, hi)
+		}
+		// Item universe within 10% above the published count (the Quest
+		// datasets use a round item universe; rare values may be missing
+		// at small scale). pumsb_star's published count is post-drop.
+		if d.Name != "pumsb_star" && float64(st.NumItems) > 1.1*float64(d.PaperItems) {
+			t.Errorf("%s: %d items far exceeds published %d", d.Name, st.NumItems, d.PaperItems)
+		}
+	}
+}
+
+func TestScaleControlsTransactions(t *testing.T) {
+	d, err := Get("chess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := d.Build(0.05)
+	big := d.Build(0.2)
+	if len(big.Transactions) <= len(small.Transactions) {
+		t.Errorf("scale did not grow the dataset: %d vs %d", len(small.Transactions), len(big.Transactions))
+	}
+	// Tiny scales clamp to a workable floor.
+	floor := d.Build(0.000001)
+	if len(floor.Transactions) < 64 {
+		t.Errorf("floor = %d transactions", len(floor.Transactions))
+	}
+}
+
+func TestBuildsAreDeterministic(t *testing.T) {
+	for _, d := range All() {
+		a, b := d.Build(0.02), d.Build(0.02)
+		if len(a.Transactions) != len(b.Transactions) {
+			t.Fatalf("%s: nondeterministic size", d.Name)
+		}
+		for i := range a.Transactions {
+			if !a.Transactions[i].Equal(b.Transactions[i]) {
+				t.Fatalf("%s: nondeterministic at transaction %d", d.Name, i)
+			}
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("netflix"); err == nil {
+		t.Error("Get accepted unknown dataset")
+	}
+}
+
+func TestDenseSubset(t *testing.T) {
+	dense := Dense()
+	if len(dense) != 4 {
+		t.Fatalf("Dense() = %d datasets, want 4", len(dense))
+	}
+	want := []string{"chess", "mushroom", "pumsb", "pumsb_star"}
+	for i, d := range dense {
+		if d.Name != want[i] {
+			t.Errorf("Dense()[%d] = %s, want %s", i, d.Name, want[i])
+		}
+	}
+}
+
+// TestDefaultSupportsAreMineable: every dataset at its default support
+// must yield a non-trivial but bounded workload at test scale, and the
+// miners must agree with the reference on a small slice.
+func TestDefaultSupportsAreMineable(t *testing.T) {
+	for _, d := range All() {
+		db := d.Build(0.02)
+		rec := db.Recode(db.AbsoluteSupport(d.DefaultSupport))
+		res := eclat.Mine(rec, rec.MinSup, core.DefaultOptions(vertical.Diffset, 2))
+		if d.Dense && res.Len() == 0 {
+			t.Errorf("%s@%v: no frequent itemsets at test scale", d.Name, d.DefaultSupport)
+		}
+		if res.Len() > 2_000_000 {
+			t.Errorf("%s@%v: workload explosion (%d itemsets)", d.Name, d.DefaultSupport, res.Len())
+		}
+	}
+}
+
+// TestMinersAgreeOnRealisticData cross-checks the miners on a small
+// chess build — structured, dense data rather than the uniform random
+// databases of the unit tests.
+func TestMinersAgreeOnRealisticData(t *testing.T) {
+	db := Chess(0.02)
+	rec := db.Recode(db.AbsoluteSupport(0.45))
+	if len(rec.Items) < 5 {
+		t.Skip("scaled dataset too small to be interesting")
+	}
+	ref := verify.Reference(rec, rec.MinSup)
+	for _, kind := range vertical.Kinds() {
+		res := eclat.Mine(rec, rec.MinSup, core.DefaultOptions(kind, 3))
+		if !res.Equal(ref) {
+			t.Errorf("eclat/%v disagrees on chess:\n%s", kind, verify.Diff(res, ref))
+		}
+	}
+}
+
+func TestPumsbStarDropsHeavyItems(t *testing.T) {
+	raw := Pumsb(0.05)
+	star := PumsbStar(0.05)
+	limit := int(0.8 * float64(len(raw.Transactions)))
+	for it, c := range star.ItemCounts() {
+		if c >= limit {
+			t.Errorf("pumsb_star kept item %d with support %d >= %d", it, c, limit)
+		}
+	}
+	if star.ComputeStats().AvgLength >= raw.ComputeStats().AvgLength {
+		t.Error("pumsb_star not shorter than pumsb")
+	}
+}

@@ -1,0 +1,386 @@
+// Package eclat implements Algorithm 2 of the paper: depth-first
+// equivalence-class frequent itemset mining over any of the three
+// vertical representations, parallelized with dynamic scheduling and the
+// smallest possible chunk (§IV: "we choose the chunksize to as small as
+// possible. The scheduler is set to dynamic so that the load imbalance
+// can be minimized").
+//
+// The parallel decomposition is selected by core.Options.EclatDepth:
+//
+//   - Depth 1 parallelizes the literal outer loop of Algorithm 2: one
+//     task per first-level equivalence class (one frequent item and
+//     everything joinable to its right). This is the paper's text
+//     reading; its parallelism is capped by the frequent-item count,
+//     a limit the paper itself notes ("poses a limit on the possible
+//     number of threads").
+//   - Depth k ≥ 2 flattens the first k−1 levels breadth-first (each
+//     expansion stays class-local and runs as its own task), then runs
+//     one depth-first recursion task per frequent k-itemset subtree.
+//     Each extra level multiplies the task count and divides the
+//     largest task. The default is DefaultDepth (4), the shallowest
+//     flattening whose task counts and balance support the speedups the
+//     paper reports on datasets with fewer frequent items than threads.
+//
+// In both forms, a worker that claims a subtree materializes every
+// intermediate payload itself, so after the initial reads of shared data
+// there is no cross-worker memory traffic — the data-independence
+// property the paper credits for Eclat's scalability.
+package eclat
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+	"repro/internal/perf"
+	"repro/internal/sched"
+	"repro/internal/vertical"
+)
+
+// DefaultSchedule is the paper's choice for Eclat's parallel loops:
+// dynamic scheduling with chunk size 1.
+var DefaultSchedule = sched.Schedule{Policy: sched.Dynamic, Chunk: 1}
+
+// DefaultDepth is the flattening depth used when Options.EclatDepth is 0:
+// the search is expanded breadth-first (class-local, in parallel) down to
+// itemset size 4 before switching to per-subtree depth-first recursion.
+// Deeper flattening trades a little shared traffic for far smaller
+// maximum task size — the load-balance knob the A4 ablation sweeps.
+const DefaultDepth = 4
+
+// atom is one member of an equivalence class: the last item of the
+// itemset plus its vertical payload relative to the class prefix.
+type atom struct {
+	item itemset.Item
+	node vertical.Node
+}
+
+// Mine runs Eclat over the recoded database with the given absolute
+// minimum support.
+func Mine(rec *dataset.Recoded, minSup int, opt core.Options) *core.Result {
+	if minSup < 1 {
+		minSup = 1
+	}
+	rep := vertical.New(opt.Representation)
+	schedule := DefaultSchedule
+	if opt.HasSchedule {
+		schedule = opt.Schedule
+	}
+	team := sched.NewTeam(opt.Workers)
+	col := opt.Collector
+
+	res := &core.Result{
+		Algorithm:      core.Eclat,
+		Representation: opt.Representation,
+		MinSup:         minSup,
+		Rec:            rec,
+	}
+
+	roots := rep.Roots(rec)
+	n := len(roots)
+	// Level-1 itemsets are frequent by construction of the recode pass.
+	for i := 0; i < n; i++ {
+		res.Counts = append(res.Counts, core.ItemsetCount{
+			Items:   itemset.New(itemset.Item(i)),
+			Support: roots[i].Support(),
+		})
+	}
+	if n > 0 {
+		res.MaxK = 1
+	}
+	if n < 2 {
+		return res
+	}
+
+	var rootBytes int64
+	for _, r := range roots {
+		rootBytes += int64(r.Bytes())
+	}
+
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	private := make([][]core.ItemsetCount, workers)
+
+	depth := opt.EclatDepth
+	if depth == 0 {
+		depth = DefaultDepth
+	}
+	if depth == 1 {
+		mineDepth1(rep, roots, rootBytes, minSup, team, schedule, col, private)
+	} else {
+		mineFlattened(rep, roots, rootBytes, minSup, depth, team, schedule, col, private)
+	}
+
+	for _, p := range private {
+		for _, c := range p {
+			res.Counts = append(res.Counts, c)
+			if len(c.Items) > res.MaxK {
+				res.MaxK = len(c.Items)
+			}
+		}
+	}
+	return res
+}
+
+// mineDepth1 runs the paper-literal decomposition: one task per
+// first-level class.
+func mineDepth1(rep vertical.Representation, roots []vertical.Node, rootBytes int64,
+	minSup int, team *sched.Team, schedule sched.Schedule, col *perf.Collector,
+	private [][]core.ItemsetCount) {
+
+	n := len(roots)
+	phase := col.NewPhase("eclat/classes", schedule, true, n)
+	if phase != nil {
+		phase.UniqueParent = rootBytes
+	}
+	team.For(n, schedule, func(w, i int) {
+		m := &minerState{rep: rep, minSup: minSup, phase: phase, task: i}
+		// The first-level combines read globally shared root data; the
+		// recursion below reads only worker-local payloads.
+		prefix := itemset.New(itemset.Item(i))
+		var class []atom
+		for j := i + 1; j < n; j++ {
+			child := rep.Combine(roots[i], roots[j])
+			cost := int64(vertical.CombineCost(roots[i], roots[j]))
+			m.add(cost+int64(child.Bytes()), cost, int64(child.Bytes()))
+			if child.Support() >= minSup {
+				m.out = append(m.out, core.ItemsetCount{
+					Items:   prefix.Extend(itemset.Item(j)),
+					Support: child.Support(),
+				})
+				class = append(class, atom{item: itemset.Item(j), node: child})
+			}
+		}
+		m.recurse(prefix, class)
+		private[w] = append(private[w], m.out...)
+	})
+}
+
+// eqClass is one equivalence class of the flattened search: a shared
+// prefix and the payload-carrying atoms that extend it. Its members are
+// itemsets of size len(prefix)+1.
+type eqClass struct {
+	prefix itemset.Itemset
+	atoms  []atom
+}
+
+// expansion is one (class, atom-position) work unit.
+type expansion struct {
+	class int32
+	pos   int32
+}
+
+// expansions enumerates every (class, pos) pair with at least one later
+// sibling to join (the last atom of a class roots an empty subtree).
+func expansions(classes []eqClass) []expansion {
+	var out []expansion
+	for c := range classes {
+		for pos := 0; pos+1 < len(classes[c].atoms); pos++ {
+			out = append(out, expansion{class: int32(c), pos: int32(pos)})
+		}
+	}
+	return out
+}
+
+// maxClassBytes returns the largest per-class payload footprint — the
+// working set one expansion task reads. This stays class-local however
+// large the whole level is: Eclat's locality advantage over Apriori.
+func maxClassBytes(classes []eqClass) int64 {
+	var mx int64
+	for _, c := range classes {
+		var b int64
+		for _, a := range c.atoms {
+			b += int64(a.node.Bytes())
+		}
+		if b > mx {
+			mx = b
+		}
+	}
+	return mx
+}
+
+// mineFlattened expands the search breadth-first (class-local, parallel)
+// down to itemsets of size `depth`, then runs one depth-first recursion
+// task per size-`depth` subtree. Depth 2 parallelizes over frequent
+// 2-itemset subtrees; each extra level multiplies the task count and
+// divides the largest task, at the cost of materializing one more level
+// of shared intermediate payloads.
+func mineFlattened(rep vertical.Representation, roots []vertical.Node, rootBytes int64,
+	minSup, depth int, team *sched.Team, schedule sched.Schedule, col *perf.Collector,
+	private [][]core.ItemsetCount) {
+
+	n := len(roots)
+	// Stage A: every pair combine is one (perfectly balanced) task.
+	nPairs := n * (n - 1) / 2
+	pi := make([]int32, nPairs)
+	pj := make([]int32, nPairs)
+	p := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pi[p], pj[p] = int32(i), int32(j)
+			p++
+		}
+	}
+	phaseA := col.NewPhase("eclat/pairs", schedule, true, nPairs)
+	if phaseA != nil {
+		phaseA.UniqueParent = rootBytes
+	}
+	pairNodes := make([]vertical.Node, nPairs)
+	team.For(nPairs, schedule, func(w, t int) {
+		i, j := pi[t], pj[t]
+		child := rep.Combine(roots[i], roots[j])
+		cost := int64(vertical.CombineCost(roots[i], roots[j]))
+		phaseA.Add(t, cost+int64(child.Bytes()), cost, int64(child.Bytes()))
+		if child.Support() >= minSup {
+			pairNodes[t] = child
+			private[w] = append(private[w], core.ItemsetCount{
+				Items:   itemset.New(itemset.Item(i), itemset.Item(j)),
+				Support: child.Support(),
+			})
+		}
+	})
+
+	// Group the frequent pairs into classes, prefix {i}, atoms ascending.
+	byPrefix := make([][]atom, n)
+	for t := 0; t < nPairs; t++ {
+		if pairNodes[t] != nil {
+			byPrefix[pi[t]] = append(byPrefix[pi[t]], atom{item: itemset.Item(pj[t]), node: pairNodes[t]})
+		}
+	}
+	var classes []eqClass
+	for i := 0; i < n; i++ {
+		if len(byPrefix[i]) > 0 {
+			classes = append(classes, eqClass{prefix: itemset.New(itemset.Item(i)), atoms: byPrefix[i]})
+		}
+	}
+
+	// Intermediate expansions: materialize one more level per step,
+	// until the class members reach the subtree-root size.
+	for memberSize := 2; memberSize < depth; memberSize++ {
+		classes = expandLevel(rep, classes, memberSize+1, minSup, team, schedule, col, private)
+	}
+
+	// Final stage: one depth-first recursion task per subtree.
+	tasks := expansions(classes)
+	phase := col.NewPhase("eclat/subtrees", schedule, true, len(tasks))
+	if phase != nil {
+		phase.UniqueParent = maxClassBytes(classes)
+	}
+	team.For(len(tasks), schedule, func(w, t int) {
+		e := tasks[t]
+		class := classes[e.class]
+		m := &minerState{rep: rep, minSup: minSup, phase: phase, task: t}
+		sub := m.expandOne(class, int(e.pos))
+		m.recurse(class.prefix.Extend(class.atoms[e.pos].item), sub)
+		private[w] = append(private[w], m.out...)
+	})
+}
+
+// expandLevel runs one parallel breadth step: every (class, pos) task
+// joins its atom with the later siblings, records the frequent results
+// (itemsets of size memberSize), and emits the subclass for the next
+// level.
+func expandLevel(rep vertical.Representation, classes []eqClass, memberSize, minSup int,
+	team *sched.Team, schedule sched.Schedule, col *perf.Collector,
+	private [][]core.ItemsetCount) []eqClass {
+
+	tasks := expansions(classes)
+	phase := col.NewPhase(fmt.Sprintf("eclat/expand%d", memberSize), schedule, true, len(tasks))
+	if phase != nil {
+		phase.UniqueParent = maxClassBytes(classes)
+	}
+	next := make([]eqClass, len(tasks))
+	team.For(len(tasks), schedule, func(w, t int) {
+		e := tasks[t]
+		class := classes[e.class]
+		m := &minerState{rep: rep, minSup: minSup, phase: phase, task: t}
+		sub := m.expandOne(class, int(e.pos))
+		if len(sub) > 0 {
+			next[t] = eqClass{prefix: class.prefix.Extend(class.atoms[e.pos].item), atoms: sub}
+		}
+		private[w] = append(private[w], m.out...)
+	})
+	out := next[:0]
+	for _, c := range next {
+		if len(c.atoms) > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// expandOne joins class.atoms[pos] with every later sibling, recording
+// frequent results into m.out and returning the surviving subclass atoms.
+// Each distinct shared parent is charged remotely once; the task's own
+// atom stays local after the first touch.
+func (m *minerState) expandOne(class eqClass, pos int) []atom {
+	a := class.atoms[pos]
+	newPrefix := class.prefix.Extend(a.item)
+	var sub []atom
+	for k := pos + 1; k < len(class.atoms); k++ {
+		b := class.atoms[k]
+		child := m.rep.Combine(a.node, b.node)
+		cost := int64(vertical.CombineCost(a.node, b.node))
+		remote := int64(b.node.Bytes())
+		if k == pos+1 {
+			remote += int64(a.node.Bytes())
+		}
+		m.add(cost+int64(child.Bytes()), remote, int64(child.Bytes()))
+		if child.Support() >= m.minSup {
+			m.out = append(m.out, core.ItemsetCount{
+				Items:   newPrefix.Extend(b.item),
+				Support: child.Support(),
+			})
+			sub = append(sub, atom{item: b.item, node: child})
+		}
+	}
+	return sub
+}
+
+// minerState carries one task's recursion context: its output buffer and
+// instrumentation coordinates.
+type minerState struct {
+	rep    vertical.Representation
+	minSup int
+	phase  *perf.Phase
+	task   int
+	out    []core.ItemsetCount
+}
+
+func (m *minerState) add(work, remote, alloc int64) {
+	m.phase.Add(m.task, work, remote, alloc)
+}
+
+// addLocal records recursion-internal combines, which never cross the
+// interconnect: the worker that produced the parents consumes them.
+func (m *minerState) addLocal(work, alloc int64) {
+	m.phase.Add(m.task, work, 0, alloc)
+}
+
+// recurse explores the class rooted at prefix (Algorithm 2 lines 3–11):
+// for every atom, join it with every later atom of the same class; record
+// the frequent joins and descend into the new class.
+func (m *minerState) recurse(prefix itemset.Itemset, class []atom) {
+	for i := 0; i+1 < len(class); i++ {
+		newPrefix := prefix.Extend(class[i].item)
+		var sub []atom
+		for j := i + 1; j < len(class); j++ {
+			child := m.rep.Combine(class[i].node, class[j].node)
+			cost := int64(vertical.CombineCost(class[i].node, class[j].node))
+			m.addLocal(cost+int64(child.Bytes()), int64(child.Bytes()))
+			if child.Support() >= m.minSup {
+				m.out = append(m.out, core.ItemsetCount{
+					Items:   newPrefix.Extend(class[j].item),
+					Support: child.Support(),
+				})
+				sub = append(sub, atom{item: class[j].item, node: child})
+			}
+		}
+		if len(sub) > 0 {
+			m.recurse(newPrefix, sub)
+		}
+	}
+}

@@ -1,0 +1,821 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V) plus the ablations called out in DESIGN.md. Each
+// experiment mines a synthetic dataset once per configuration with
+// instrumentation on, then replays the recorded trace on the simulated
+// Blacklight machine across the paper's thread counts (16…256, plus 1 as
+// the speedup base).
+//
+// The output types carry both the simulated runtime tables (the paper's
+// Tables II–V) and the speedup series (Figures 5–8).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/apriori"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/datasets"
+	"repro/internal/eclat"
+	"repro/internal/horizontal"
+	"repro/internal/machine"
+	"repro/internal/perf"
+	"repro/internal/ptrie"
+	"repro/internal/sched"
+	"repro/internal/vertical"
+)
+
+// DefaultThreads is the paper's thread axis with a 1-thread speedup base.
+var DefaultThreads = []int{1, 16, 32, 64, 128, 256}
+
+// DefaultScale multiplies each dataset's own ExperimentScale (chess and
+// mushroom mine at full published size; the large datasets at a fraction
+// so the whole matrix finishes in minutes on a laptop-class host — the
+// scalability shapes are scale-invariant, documented in EXPERIMENTS.md).
+const DefaultScale = 1.0
+
+// Config parameterizes an experiment run.
+type Config struct {
+	Scale   float64
+	Threads []int
+	Machine machine.Config
+	// Datasets restricts the dataset list (nil = the experiment's
+	// default).
+	Datasets []datasets.Def
+}
+
+// Defaults fills zero fields.
+func (c Config) defaults() Config {
+	if c.Scale == 0 {
+		c.Scale = DefaultScale
+	}
+	if len(c.Threads) == 0 {
+		c.Threads = DefaultThreads
+	}
+	if c.Machine.CoresPerBlade == 0 {
+		c.Machine = machine.Blacklight()
+	}
+	return c
+}
+
+// Cell is one (thread count) entry of a scalability row.
+type Cell struct {
+	Threads        int
+	SimSeconds     float64
+	Speedup        float64
+	BandwidthBound bool
+}
+
+// Row is one dataset's scalability series.
+type Row struct {
+	Dataset  string
+	Support  float64
+	Itemsets int
+	// RealSeconds is the measured wall-clock of the instrumented serial
+	// mining run on this host (not the simulated machine).
+	RealSeconds float64
+	Cells       []Cell
+}
+
+// Table is one paper table/figure pair.
+type Table struct {
+	ID             string // e.g. "table2+fig5"
+	Title          string
+	Algorithm      core.Algorithm
+	Representation vertical.Kind
+	Machine        machine.Config
+	Rows           []Row
+}
+
+// mineTraced runs one instrumented mining pass and returns the result,
+// trace, and real wall-clock.
+func mineTraced(rec *dataset.Recoded, minSup int, algo core.Algorithm, rep vertical.Kind) (*core.Result, *perf.Collector, float64) {
+	col := &perf.Collector{}
+	opt := core.DefaultOptions(rep, 1)
+	opt.Collector = col
+	start := time.Now()
+	var res *core.Result
+	switch algo {
+	case core.Apriori:
+		res = apriori.Mine(rec, minSup, opt)
+	case core.Eclat:
+		res = eclat.Mine(rec, minSup, opt)
+	default:
+		panic(fmt.Sprintf("experiments: unsupported algorithm %v", algo))
+	}
+	return res, col, time.Since(start).Seconds()
+}
+
+// Scalability builds one runtime+speedup table for an algorithm and
+// representation over the given datasets — the generator for Tables II–V
+// and Figures 5–8.
+func Scalability(algo core.Algorithm, rep vertical.Kind, cfg Config) *Table {
+	cfg = cfg.defaults()
+	defs := cfg.Datasets
+	if defs == nil {
+		defs = datasets.Dense()
+	}
+	t := &Table{
+		Algorithm:      algo,
+		Representation: rep,
+		Machine:        cfg.Machine,
+	}
+	for _, d := range defs {
+		db := d.Build(cfg.Scale * d.ExperimentScale)
+		rec := db.Recode(db.AbsoluteSupport(d.DefaultSupport))
+		res, col, real := mineTraced(rec, rec.MinSup, algo, rep)
+		times, speedups := machine.Speedup(col, cfg.Threads, cfg.Machine)
+		row := Row{
+			Dataset:     d.Name,
+			Support:     d.DefaultSupport,
+			Itemsets:    res.Len(),
+			RealSeconds: real,
+		}
+		for i := range times {
+			row.Cells = append(row.Cells, Cell{
+				Threads:        cfg.Threads[i],
+				SimSeconds:     times[i].Seconds,
+				Speedup:        speedups[i],
+				BandwidthBound: times[i].BandwidthBound,
+			})
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// PaperTables returns the four headline scalability tables in paper
+// order: Table II/Fig 5 (Apriori+diffset), Table III/Fig 6
+// (Eclat+tidset), Table VI/Fig 7 (Eclat+bitvector), Table V/Fig 8
+// (Eclat+diffset).
+func PaperTables(cfg Config) []*Table {
+	specs := []struct {
+		id, title string
+		algo      core.Algorithm
+		rep       vertical.Kind
+	}{
+		{"table2+fig5", "Running time and speedup for Apriori with Diffset", core.Apriori, vertical.Diffset},
+		{"table3+fig6", "Running time and speedup for Eclat with Tidset", core.Eclat, vertical.Tidset},
+		{"table6+fig7", "Running time and speedup for Eclat with Bitvector", core.Eclat, vertical.Bitvector},
+		{"table5+fig8", "Running time and speedup for Eclat with Diffset", core.Eclat, vertical.Diffset},
+	}
+	var out []*Table
+	for _, s := range specs {
+		t := Scalability(s.algo, s.rep, cfg)
+		t.ID, t.Title = s.id, s.title
+		out = append(out, t)
+	}
+	return out
+}
+
+// AprioriFlat reproduces the §V-A negative result: Apriori with tidset
+// and bitvector does not scale beyond one blade (16 threads).
+func AprioriFlat(cfg Config) []*Table {
+	var out []*Table
+	for _, rep := range []vertical.Kind{vertical.Tidset, vertical.Bitvector} {
+		t := Scalability(core.Apriori, rep, cfg)
+		t.ID = "apriori-" + rep.String()
+		t.Title = fmt.Sprintf("Apriori with %s (§V-A: not scalable beyond one blade)", rep)
+		out = append(out, t)
+	}
+	return out
+}
+
+// TableIRow is one row of the dataset summary (paper Table I).
+type TableIRow struct {
+	Name        string
+	Items       int
+	AvgLen      float64
+	Trans       int
+	SizeKB      int
+	PaperItems  int
+	PaperAvgLen float64
+	PaperTrans  int
+}
+
+// TableI computes the dataset summary at full scale (generation is cheap
+// even when mining at that scale is not).
+func TableI() []TableIRow {
+	var rows []TableIRow
+	for _, d := range datasets.Dense() {
+		st := d.Build(1).ComputeStats()
+		rows = append(rows, TableIRow{
+			Name:        d.Name,
+			Items:       st.NumItems,
+			AvgLen:      st.AvgLength,
+			Trans:       st.NumTransactions,
+			SizeKB:      st.SizeBytes / 1024,
+			PaperItems:  d.PaperItems,
+			PaperAvgLen: d.PaperAvgLen,
+			PaperTrans:  d.PaperTrans,
+		})
+	}
+	return rows
+}
+
+// FootprintRow reports, for one dataset, each representation's total
+// candidate payload allocation during an Apriori run — ablation A2, the
+// §V-A memory-footprint argument.
+type FootprintRow struct {
+	Dataset    string
+	Support    float64
+	AllocBytes map[vertical.Kind]int64
+	// RemoteBytes is the instrumented parent-read volume per
+	// representation (the memory-exchange proxy).
+	RemoteBytes map[vertical.Kind]int64
+}
+
+// MemoryFootprint runs ablation A2.
+func MemoryFootprint(cfg Config) []FootprintRow {
+	cfg = cfg.defaults()
+	defs := cfg.Datasets
+	if defs == nil {
+		defs = datasets.Dense()
+	}
+	var rows []FootprintRow
+	for _, d := range defs {
+		db := d.Build(cfg.Scale * d.ExperimentScale)
+		rec := db.Recode(db.AbsoluteSupport(d.DefaultSupport))
+		row := FootprintRow{
+			Dataset:     d.Name,
+			Support:     d.DefaultSupport,
+			AllocBytes:  map[vertical.Kind]int64{},
+			RemoteBytes: map[vertical.Kind]int64{},
+		}
+		for _, rep := range vertical.Kinds() {
+			_, col, _ := mineTraced(rec, rec.MinSup, core.Apriori, rep)
+			row.AllocBytes[rep] = col.TotalAlloc()
+			row.RemoteBytes[rep] = col.TotalRemote()
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// ScheduleRow is one cell of the scheduling ablation A1: simulated time
+// of one algorithm/dataset under each loop schedule.
+type ScheduleRow struct {
+	Dataset   string
+	Algorithm core.Algorithm
+	Threads   int
+	Seconds   map[string]float64 // schedule name -> simulated seconds
+}
+
+// ScheduleAblation runs ablation A1: static vs dynamic vs guided for
+// both algorithms at the largest thread count.
+func ScheduleAblation(cfg Config) []ScheduleRow {
+	cfg = cfg.defaults()
+	defs := cfg.Datasets
+	if defs == nil {
+		defs = datasets.Dense()
+	}
+	threads := cfg.Threads[len(cfg.Threads)-1]
+	schedules := []sched.Schedule{
+		{Policy: sched.Static},
+		{Policy: sched.Dynamic, Chunk: 1},
+		{Policy: sched.Guided},
+	}
+	var rows []ScheduleRow
+	for _, d := range defs {
+		db := d.Build(cfg.Scale * d.ExperimentScale)
+		rec := db.Recode(db.AbsoluteSupport(d.DefaultSupport))
+		for _, algo := range []core.Algorithm{core.Apriori, core.Eclat} {
+			row := ScheduleRow{Dataset: d.Name, Algorithm: algo, Threads: threads, Seconds: map[string]float64{}}
+			rep := vertical.Diffset
+			for _, s := range schedules {
+				col := &perf.Collector{}
+				opt := core.DefaultOptions(rep, 1)
+				opt.Collector = col
+				opt.Schedule, opt.HasSchedule = s, true
+				switch algo {
+				case core.Apriori:
+					apriori.Mine(rec, rec.MinSup, opt)
+				case core.Eclat:
+					eclat.Mine(rec, rec.MinSup, opt)
+				}
+				rt := machine.Simulate(col, threads, cfg.Machine)
+				row.Seconds[s.String()] = rt.Seconds
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// ChunkRow is one cell of ablation A3: Eclat's sensitivity to the
+// dynamic chunk size ("we choose the chunksize to as small as possible").
+type ChunkRow struct {
+	Dataset string
+	Threads int
+	Seconds map[int]float64 // chunk size -> simulated seconds
+}
+
+// ChunkAblation runs ablation A3.
+func ChunkAblation(cfg Config) []ChunkRow {
+	cfg = cfg.defaults()
+	defs := cfg.Datasets
+	if defs == nil {
+		defs = datasets.Dense()
+	}
+	threads := cfg.Threads[len(cfg.Threads)-1]
+	var rows []ChunkRow
+	for _, d := range defs {
+		db := d.Build(cfg.Scale * d.ExperimentScale)
+		rec := db.Recode(db.AbsoluteSupport(d.DefaultSupport))
+		row := ChunkRow{Dataset: d.Name, Threads: threads, Seconds: map[int]float64{}}
+		for _, chunk := range []int{1, 2, 4, 8, 16} {
+			col := &perf.Collector{}
+			opt := core.DefaultOptions(vertical.Diffset, 1)
+			opt.Collector = col
+			opt.Schedule = sched.Schedule{Policy: sched.Dynamic, Chunk: chunk}
+			opt.HasSchedule = true
+			eclat.Mine(rec, rec.MinSup, opt)
+			row.Seconds[chunk] = machine.Simulate(col, threads, cfg.Machine).Seconds
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// DepthRow is one row of ablation A4: Eclat's flattening-depth
+// sensitivity (simulated speedup at the largest thread count per depth).
+type DepthRow struct {
+	Dataset string
+	Threads int
+	Speedup map[int]float64 // depth -> speedup at Threads
+}
+
+// DepthAblation runs ablation A4 over Eclat/diffset.
+func DepthAblation(cfg Config) []DepthRow {
+	cfg = cfg.defaults()
+	defs := cfg.Datasets
+	if defs == nil {
+		defs = datasets.Dense()
+	}
+	threads := cfg.Threads[len(cfg.Threads)-1]
+	var rows []DepthRow
+	for _, d := range defs {
+		db := d.Build(cfg.Scale * d.ExperimentScale)
+		rec := db.Recode(db.AbsoluteSupport(d.DefaultSupport))
+		row := DepthRow{Dataset: d.Name, Threads: threads, Speedup: map[int]float64{}}
+		for _, depth := range []int{1, 2, 3, 4} {
+			col := &perf.Collector{}
+			opt := core.DefaultOptions(vertical.Diffset, 1)
+			opt.Collector = col
+			opt.EclatDepth = depth
+			eclat.Mine(rec, rec.MinSup, opt)
+			_, sp := machine.Speedup(col, []int{threads}, cfg.Machine)
+			row.Speedup[depth] = sp[0]
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatDepth renders ablation A4.
+func FormatDepth(rows []DepthRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "A4 — Eclat flattening-depth ablation (simulated speedup at %d threads, diffset)\n", 256)
+	fmt.Fprintf(&b, "%-14s %8s %10s %10s %10s %10s\n", "dataset", "threads", "depth=1", "depth=2", "depth=3", "depth=4")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %8d %10.1f %10.1f %10.1f %10.1f\n",
+			r.Dataset, r.Threads, r.Speedup[1], r.Speedup[2], r.Speedup[3], r.Speedup[4])
+	}
+	return b.String()
+}
+
+// SparseRow is one row of experiment E6: sparse datasets whose frequent
+// item count caps Eclat's first-level parallelism, the paper's reason
+// for omitting T40I10D100K and accidents.
+type SparseRow struct {
+	Dataset       string
+	Support       float64
+	FrequentItems int
+	Cells         []Cell
+}
+
+// SparseLimit runs E6 on the two sparse datasets.
+func SparseLimit(cfg Config) []SparseRow {
+	cfg = cfg.defaults()
+	defs := cfg.Datasets
+	if defs == nil {
+		for _, d := range datasets.All() {
+			if !d.Dense {
+				defs = append(defs, d)
+			}
+		}
+	}
+	var rows []SparseRow
+	for _, d := range defs {
+		db := d.Build(cfg.Scale * d.ExperimentScale)
+		rec := db.Recode(db.AbsoluteSupport(d.DefaultSupport))
+		_, col, _ := mineTraced(rec, rec.MinSup, core.Eclat, vertical.Diffset)
+		times, speedups := machine.Speedup(col, cfg.Threads, cfg.Machine)
+		row := SparseRow{Dataset: d.Name, Support: d.DefaultSupport, FrequentItems: len(rec.Items)}
+		for i := range times {
+			row.Cells = append(row.Cells, Cell{Threads: cfg.Threads[i], SimSeconds: times[i].Seconds, Speedup: speedups[i]})
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// BaselineRow is one row of ablation A5/A6: serial wall-clock of the
+// horizontal baselines against vertical Apriori (the §II-B "order of
+// magnitude" claim), plus the atomic-counting penalty signal.
+type BaselineRow struct {
+	Dataset string
+	Support float64
+	// Seconds of serial mining on this host per engine.
+	VerticalTidset  float64
+	VerticalDiffset float64
+	HorizontalScan  float64 // per-transaction subset scanning (partial counters)
+	PointerTrie     float64 // Bodon-style trie-descent counting
+	// AtomicRemote is the shared-counter cache-line traffic the atomic
+	// variant records (the §III race-protection cost); partial counting
+	// records zero.
+	AtomicRemote int64
+}
+
+// Baselines runs ablation A5/A6 on the dense datasets at reduced scale
+// (horizontal scanning is quadratic-ish and only needs to show its
+// order-of-magnitude gap).
+func Baselines(cfg Config) []BaselineRow {
+	cfg = cfg.defaults()
+	defs := cfg.Datasets
+	if defs == nil {
+		defs = datasets.Dense()
+	}
+	var rows []BaselineRow
+	for _, d := range defs {
+		db := d.Build(cfg.Scale * d.ExperimentScale * 0.25)
+		rec := db.Recode(db.AbsoluteSupport(d.DefaultSupport))
+		row := BaselineRow{Dataset: d.Name, Support: d.DefaultSupport}
+		timeIt := func(f func()) float64 {
+			start := time.Now()
+			f()
+			return time.Since(start).Seconds()
+		}
+		row.VerticalTidset = timeIt(func() { apriori.Mine(rec, rec.MinSup, core.DefaultOptions(vertical.Tidset, 1)) })
+		row.VerticalDiffset = timeIt(func() { apriori.Mine(rec, rec.MinSup, core.DefaultOptions(vertical.Diffset, 1)) })
+		row.HorizontalScan = timeIt(func() { horizontal.Mine(rec, rec.MinSup, 1, horizontal.Partial, nil) })
+		row.PointerTrie = timeIt(func() { ptrie.Mine(rec, rec.MinSup, 1) })
+		col := &perf.Collector{}
+		horizontal.Mine(rec, rec.MinSup, 1, horizontal.Atomic, col)
+		row.AtomicRemote = col.TotalRemote()
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatBaselines renders ablation A5/A6.
+func FormatBaselines(rows []BaselineRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "A5/A6 — Horizontal baselines vs vertical Apriori (serial wall-clock on this host)\n")
+	fmt.Fprintf(&b, "%-22s %12s %12s %12s %12s %14s\n",
+		"dataset@support", "vert/tidset", "vert/diffset", "horiz/scan", "ptrie", "atomicTraffic")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %11.3fs %11.3fs %11.3fs %11.3fs %11.1fMB\n",
+			fmt.Sprintf("%s@%g", r.Dataset, r.Support),
+			r.VerticalTidset, r.VerticalDiffset, r.HorizontalScan, r.PointerTrie,
+			float64(r.AtomicRemote)/(1<<20))
+	}
+	return b.String()
+}
+
+// HTRow is one row of ablation A8: hyperthreading on the simulated
+// machine (paper §V: "We did not use hyper thread as it does not improve
+// our program performance").
+type HTRow struct {
+	Dataset string
+	NoHT    float64 // seconds at Threads on the base machine
+	WithHT  float64 // seconds at 2*Threads with SMT sharing the cores
+	Threads int
+}
+
+// HTAblation runs ablation A8 over Eclat/diffset.
+func HTAblation(cfg Config) []HTRow {
+	cfg = cfg.defaults()
+	defs := cfg.Datasets
+	if defs == nil {
+		defs = datasets.Dense()
+	}
+	threads := cfg.Threads[len(cfg.Threads)-1]
+	ht := cfg.Machine.WithHyperthreading(1.05)
+	var rows []HTRow
+	for _, d := range defs {
+		db := d.Build(cfg.Scale * d.ExperimentScale)
+		rec := db.Recode(db.AbsoluteSupport(d.DefaultSupport))
+		col := &perf.Collector{}
+		opt := core.DefaultOptions(vertical.Diffset, 1)
+		opt.Collector = col
+		eclat.Mine(rec, rec.MinSup, opt)
+		noHT := machine.Simulate(col, threads, cfg.Machine).Seconds
+		// With SMT, a core running a single busy thread still gets full
+		// throughput, so the hyperthreaded machine is never slower than
+		// idling every second context: take the better of the two.
+		shared := machine.Simulate(col, 2*threads, ht).Seconds
+		withHT := shared
+		if noHT < withHT {
+			withHT = noHT
+		}
+		rows = append(rows, HTRow{
+			Dataset: d.Name,
+			Threads: threads,
+			NoHT:    noHT,
+			WithHT:  withHT,
+		})
+	}
+	return rows
+}
+
+// FormatHT renders ablation A8.
+func FormatHT(rows []HTRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "A8 — Hyperthreading ablation (simulated seconds, Eclat/diffset)\n")
+	fmt.Fprintf(&b, "%-14s %10s %14s %14s %8s\n", "dataset", "threads", "noHT", "HT(2x thr)", "gain")
+	for _, r := range rows {
+		gain := r.NoHT / r.WithHT
+		fmt.Fprintf(&b, "%-14s %10d %13.4fs %13.4fs %7.2fx\n", r.Dataset, r.Threads, r.NoHT, r.WithHT, gain)
+	}
+	return b.String()
+}
+
+// OrderRow is one row of ablation A9: the effect of frequency-ordered
+// item recoding on Eclat's work and simulated scalability.
+type OrderRow struct {
+	Dataset string
+	Threads int
+	// WorkBytes and Speedup per item order.
+	WorkByCode      int64
+	WorkByFrequency int64
+	SpeedupByCode   float64
+	SpeedupByFreq   float64
+}
+
+// OrderAblation runs ablation A9 over Eclat/diffset.
+func OrderAblation(cfg Config) []OrderRow {
+	cfg = cfg.defaults()
+	defs := cfg.Datasets
+	if defs == nil {
+		defs = datasets.Dense()
+	}
+	threads := cfg.Threads[len(cfg.Threads)-1]
+	var rows []OrderRow
+	for _, d := range defs {
+		db := d.Build(cfg.Scale * d.ExperimentScale)
+		minSup := db.AbsoluteSupport(d.DefaultSupport)
+		row := OrderRow{Dataset: d.Name, Threads: threads}
+		for _, order := range []dataset.ItemOrder{dataset.ByCode, dataset.ByFrequency} {
+			rec := db.RecodeOrdered(minSup, order)
+			col := &perf.Collector{}
+			opt := core.DefaultOptions(vertical.Diffset, 1)
+			opt.Collector = col
+			eclat.Mine(rec, minSup, opt)
+			_, sp := machine.Speedup(col, []int{threads}, cfg.Machine)
+			if order == dataset.ByCode {
+				row.WorkByCode, row.SpeedupByCode = col.TotalWork(), sp[0]
+			} else {
+				row.WorkByFrequency, row.SpeedupByFreq = col.TotalWork(), sp[0]
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatOrder renders ablation A9.
+func FormatOrder(rows []OrderRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "A9 — Item-order ablation (Eclat/diffset): original code order vs ascending frequency\n")
+	fmt.Fprintf(&b, "%-14s %8s %14s %14s %12s %12s\n", "dataset", "threads", "work(code)", "work(freq)", "spdup(code)", "spdup(freq)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %8d %12.1fMB %12.1fMB %12.1f %12.1f\n",
+			r.Dataset, r.Threads,
+			float64(r.WorkByCode)/(1<<20), float64(r.WorkByFrequency)/(1<<20),
+			r.SpeedupByCode, r.SpeedupByFreq)
+	}
+	return b.String()
+}
+
+// LazyRow is one row of ablation A10: Apriori payload allocation with
+// and without lazy materialization.
+type LazyRow struct {
+	Dataset    string
+	Support    float64
+	EagerAlloc int64
+	LazyAlloc  int64
+}
+
+// LazyAblation runs ablation A10 over Apriori/tidset (the representation
+// with the heaviest payloads, where pruning-before-allocating pays most).
+func LazyAblation(cfg Config) []LazyRow {
+	cfg = cfg.defaults()
+	defs := cfg.Datasets
+	if defs == nil {
+		defs = datasets.Dense()
+	}
+	var rows []LazyRow
+	for _, d := range defs {
+		db := d.Build(cfg.Scale * d.ExperimentScale)
+		rec := db.Recode(db.AbsoluteSupport(d.DefaultSupport))
+		row := LazyRow{Dataset: d.Name, Support: d.DefaultSupport}
+		for _, lazyOn := range []bool{false, true} {
+			col := &perf.Collector{}
+			opt := core.DefaultOptions(vertical.Tidset, 1)
+			opt.Collector = col
+			opt.LazyMaterialize = lazyOn
+			apriori.Mine(rec, rec.MinSup, opt)
+			if lazyOn {
+				row.LazyAlloc = col.TotalAlloc()
+			} else {
+				row.EagerAlloc = col.TotalAlloc()
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatLazy renders ablation A10.
+func FormatLazy(rows []LazyRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "A10 — Lazy-materialization ablation (Apriori/tidset payload allocation)\n")
+	fmt.Fprintf(&b, "%-22s %14s %14s %10s\n", "dataset@support", "eager alloc", "lazy alloc", "saved")
+	for _, r := range rows {
+		saved := 0.0
+		if r.EagerAlloc > 0 {
+			saved = 100 * (1 - float64(r.LazyAlloc)/float64(r.EagerAlloc))
+		}
+		fmt.Fprintf(&b, "%-22s %12.1fMB %12.1fMB %9.1f%%\n",
+			fmt.Sprintf("%s@%g", r.Dataset, r.Support),
+			float64(r.EagerAlloc)/(1<<20), float64(r.LazyAlloc)/(1<<20), saved)
+	}
+	return b.String()
+}
+
+// --- formatting --------------------------------------------------------
+
+// Format renders the table the way the paper's tables + figures read:
+// a runtime block (seconds per thread count) and a speedup block.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s [%v/%v]\n", strings.ToUpper(t.ID), t.Title, t.Algorithm, t.Representation)
+	fmt.Fprintf(&b, "machine: %s\n", t.Machine.Describe())
+	if len(t.Rows) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-22s", "dataset@support")
+	for _, c := range t.Rows[0].Cells {
+		fmt.Fprintf(&b, "%12d", c.Threads)
+	}
+	fmt.Fprintf(&b, "\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-22s", fmt.Sprintf("%s@%g", r.Dataset, r.Support))
+		for _, c := range r.Cells {
+			mark := " "
+			if c.BandwidthBound {
+				mark = "*"
+			}
+			fmt.Fprintf(&b, "%11.4f%s", c.SimSeconds, mark)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	fmt.Fprintf(&b, "speedup (relative to one thread):\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-22s", fmt.Sprintf("%s@%g", r.Dataset, r.Support))
+		for _, c := range r.Cells {
+			fmt.Fprintf(&b, "%12.1f", c.Speedup)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	fmt.Fprintf(&b, "(* = interconnect bandwidth bound; itemset counts: ")
+	for i, r := range t.Rows {
+		if i > 0 {
+			fmt.Fprintf(&b, ", ")
+		}
+		fmt.Fprintf(&b, "%s=%d", r.Dataset, r.Itemsets)
+	}
+	fmt.Fprintf(&b, ")\n")
+	return b.String()
+}
+
+// CSV renders the table's speedup series as plot-ready CSV: one row per
+// dataset, one column per thread count — the data behind the paper's
+// figures.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dataset,support")
+	if len(t.Rows) > 0 {
+		for _, c := range t.Rows[0].Cells {
+			fmt.Fprintf(&b, ",t%d", c.Threads)
+		}
+	}
+	fmt.Fprintf(&b, "\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%s,%g", r.Dataset, r.Support)
+		for _, c := range r.Cells {
+			fmt.Fprintf(&b, ",%.2f", c.Speedup)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+// FormatTableI renders the dataset summary against the published values.
+func FormatTableI(rows []TableIRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TABLE I — Summary of test datasets (synthetic vs published)\n")
+	fmt.Fprintf(&b, "%-12s %22s %22s %22s %10s\n", "dataset", "items (ours/paper)", "avg len (ours/paper)", "trans (ours/paper)", "size")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %12d / %-7d %12.1f / %-7.1f %12d / %-7d %8dK\n",
+			r.Name, r.Items, r.PaperItems, r.AvgLen, r.PaperAvgLen, r.Trans, r.PaperTrans, r.SizeKB)
+	}
+	return b.String()
+}
+
+// FormatFootprint renders ablation A2.
+func FormatFootprint(rows []FootprintRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "A2 — Apriori payload allocation and parent-read volume per representation\n")
+	fmt.Fprintf(&b, "%-22s %14s %14s %14s   %s\n", "dataset@support", "tidset", "bitvector", "diffset", "(alloc MB | remote MB)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s", fmt.Sprintf("%s@%g", r.Dataset, r.Support))
+		for _, k := range vertical.Kinds() {
+			fmt.Fprintf(&b, " %6.1f|%6.1f", float64(r.AllocBytes[k])/(1<<20), float64(r.RemoteBytes[k])/(1<<20))
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+// FormatSchedule renders ablation A1.
+func FormatSchedule(rows []ScheduleRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "A1 — Loop-schedule ablation (simulated seconds, diffset)\n")
+	names := []string{"static", "dynamic,1", "guided"}
+	fmt.Fprintf(&b, "%-14s %-9s %8s", "dataset", "algo", "threads")
+	for _, n := range names {
+		fmt.Fprintf(&b, "%12s", n)
+	}
+	fmt.Fprintf(&b, "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-9v %8d", r.Dataset, r.Algorithm, r.Threads)
+		for _, n := range names {
+			fmt.Fprintf(&b, "%12.4f", r.Seconds[n])
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+// FormatChunk renders ablation A3.
+func FormatChunk(rows []ChunkRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "A3 — Eclat dynamic chunk-size ablation (simulated seconds)\n")
+	var chunks []int
+	if len(rows) > 0 {
+		for c := range rows[0].Seconds {
+			chunks = append(chunks, c)
+		}
+		sort.Ints(chunks)
+	}
+	fmt.Fprintf(&b, "%-14s %8s", "dataset", "threads")
+	for _, c := range chunks {
+		fmt.Fprintf(&b, "%12s", fmt.Sprintf("chunk=%d", c))
+	}
+	fmt.Fprintf(&b, "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %8d", r.Dataset, r.Threads)
+		for _, c := range chunks {
+			fmt.Fprintf(&b, "%12.4f", r.Seconds[c])
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+// FormatSparse renders experiment E6.
+func FormatSparse(rows []SparseRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E6 — Sparse datasets: first-level classes cap Eclat speedup (§V note)\n")
+	if len(rows) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-22s %10s", "dataset@support", "freqItems")
+	for _, c := range rows[0].Cells {
+		fmt.Fprintf(&b, "%10d", c.Threads)
+	}
+	fmt.Fprintf(&b, "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %10d", fmt.Sprintf("%s@%g", r.Dataset, r.Support), r.FrequentItems)
+		for _, c := range r.Cells {
+			fmt.Fprintf(&b, "%10.1f", c.Speedup)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,337 @@
+// Package gen synthesizes transaction databases with controlled
+// statistical shape. The module is offline, so the FIMI-repository
+// datasets the paper evaluates (chess, mushroom, pumsb, pumsb_star,
+// T40I10D100K, accidents) are reproduced as deterministic synthetic
+// equivalents:
+//
+//   - Categorical emulates UCI-style categorical data (chess, mushroom,
+//     pumsb): every transaction has exactly one value per attribute, value
+//     distributions are skewed toward a per-attribute dominant value, and
+//     a latent group variable correlates attributes so that deep frequent
+//     lattices form at high support thresholds — the density structure
+//     that makes these datasets "dense" in the FIM literature.
+//   - Quest emulates the IBM Quest generator behind the T..I..D..
+//     market-basket family: transactions are assembled from a pool of
+//     potentially-frequent patterns with corruption, giving sparse data
+//     with many items and shallow lattices.
+//   - DropHighSupport derives pumsb_star from pumsb: remove every item
+//     whose support is at or above a fraction of the database.
+//
+// All generators are deterministic functions of their seed.
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+)
+
+// AttrSpec describes one categorical attribute.
+type AttrSpec struct {
+	// Domain is the number of distinct values the attribute takes.
+	Domain int
+}
+
+// CategoricalConfig parameterizes the categorical generator.
+//
+// Correlation is produced by a two-level mixture. A latent group chooses
+// each attribute's dominant value, and a per-row conformity coin decides
+// how strongly the row follows its group: conformist rows take attribute
+// a's dominant value with probability w_a, non-conformists with
+// w_a·NonConfFactor. Because conformist rows agree on many attributes at
+// once, the support of a k-set of dominant values decays like
+// ConformistFrac·∏w_a — slowly — which is the deep-lattice density of
+// UCI categorical data (chess, pumsb) that makes them hard FIM instances
+// at high support.
+//
+// The per-attribute dominance w_a is spread smoothly over [WLo, WHi]
+// (attribute 0 strongest), mirroring the smooth item-support spectrum of
+// real categorical data; a single shared dominance would make all
+// dominant items combinatorially interchangeable and blow the lattice up.
+type CategoricalConfig struct {
+	Name string
+	Seed int64
+	// NumTransactions is the number of rows to generate.
+	NumTransactions int
+	// Attributes lists the per-attribute domains. Each transaction
+	// carries exactly one item per attribute, so the average transaction
+	// length equals len(Attributes).
+	Attributes []AttrSpec
+	// NumGroups is the number of latent correlation groups (1 = a single
+	// shared dominant profile).
+	NumGroups int
+	// SharedFrac is the probability that an attribute's dominant value
+	// is shared by all groups (census-style globally dominant answers).
+	SharedFrac float64
+	// ConformistFrac is the fraction of rows drawn tightly around their
+	// group profile.
+	ConformistFrac float64
+	// WHi, WLo bound the per-attribute dominant-value probability;
+	// attribute a gets w_a = WLo + (WHi−WLo)·((n−1−a)/(n−1))^Spread.
+	WHi, WLo float64
+	// Spread shapes the w_a curve: 1 is linear, larger concentrates the
+	// strong attributes at the front.
+	Spread float64
+	// NonConfFactor scales w_a for non-conformist rows (0..1).
+	NonConfFactor float64
+}
+
+// dominance returns w_a for attribute a of n.
+func (cfg CategoricalConfig) dominance(a, n int) float64 {
+	if n <= 1 {
+		return cfg.WHi
+	}
+	frac := float64(n-1-a) / float64(n-1)
+	return cfg.WLo + (cfg.WHi-cfg.WLo)*pow(frac, cfg.Spread)
+}
+
+// pow computes x^y for x in [0,1] and modest y via exp/log-free repeated
+// squaring on the integer part and linear blend on the fraction — enough
+// precision for shaping a synthetic spectrum.
+func pow(x, y float64) float64 {
+	if y <= 0 {
+		return 1
+	}
+	out := 1.0
+	for ; y >= 1; y-- {
+		out *= x
+	}
+	// Linear blend for the fractional exponent.
+	return out * (1 - y + y*x)
+}
+
+// Categorical generates a categorical database per cfg.
+func Categorical(cfg CategoricalConfig) *dataset.DB {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	nAttrs := len(cfg.Attributes)
+	groups := cfg.NumGroups
+	if groups < 1 {
+		groups = 1
+	}
+	// Item coding: attribute a's value v is item base[a]+v.
+	base := make([]int, nAttrs+1)
+	for a, spec := range cfg.Attributes {
+		base[a+1] = base[a] + spec.Domain
+	}
+	// Per group, per attribute: which value is dominant. With probability
+	// SharedFrac an attribute has one globally dominant value (value 0);
+	// otherwise each group picks its own.
+	dominant := make([][]int, groups)
+	for g := range dominant {
+		dominant[g] = make([]int, nAttrs)
+	}
+	for a, spec := range cfg.Attributes {
+		if r.Float64() < cfg.SharedFrac {
+			continue // all groups keep value 0
+		}
+		for g := 1; g < groups; g++ {
+			dominant[g][a] = r.Intn(spec.Domain)
+		}
+	}
+	// Per-attribute dominance spectrum.
+	w := make([]float64, nAttrs)
+	for a := range w {
+		w[a] = cfg.dominance(a, nAttrs)
+	}
+	db := &dataset.DB{Name: cfg.Name, Transactions: make([]dataset.Transaction, cfg.NumTransactions)}
+	for t := 0; t < cfg.NumTransactions; t++ {
+		g := r.Intn(groups)
+		conform := 1.0
+		if r.Float64() >= cfg.ConformistFrac {
+			conform = cfg.NonConfFactor
+		}
+		tr := make(dataset.Transaction, nAttrs)
+		for a, spec := range cfg.Attributes {
+			v := dominant[g][a]
+			if spec.Domain > 1 && r.Float64() >= w[a]*conform {
+				// Non-dominant value: geometric-ish spread over the rest.
+				v = (v + 1 + geometric(r, spec.Domain-1)) % spec.Domain
+			}
+			tr[a] = itemset.Item(base[a] + v)
+		}
+		// One item per attribute and bases ascend, so tr is sorted.
+		db.Transactions[t] = tr
+	}
+	return db
+}
+
+// geometric returns a value in [0, n) with a geometric-ish bias toward 0.
+// n must be >= 1.
+func geometric(r *rand.Rand, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	v := 0
+	for v < n-1 && r.Float64() < 0.5 {
+		v++
+	}
+	return v
+}
+
+// QuestConfig parameterizes the IBM-Quest-style market-basket generator.
+// The conventional name TxxIyyDzzK maps to AvgTransLen=xx,
+// AvgPatternLen=yy, NumTransactions=zz*1000.
+type QuestConfig struct {
+	Name string
+	Seed int64
+	// NumTransactions is the number of baskets.
+	NumTransactions int
+	// AvgTransLen is the mean basket size (Poisson).
+	AvgTransLen int
+	// NumItems is the size of the item universe.
+	NumItems int
+	// NumPatterns is the size of the potentially-frequent pattern pool
+	// (Quest's |L|, classically 2000).
+	NumPatterns int
+	// AvgPatternLen is the mean pattern size (Poisson, min 1).
+	AvgPatternLen int
+	// Corruption is the per-pattern probability that an item is dropped
+	// when the pattern is planted (Quest's corruption level mean, 0.5
+	// classically).
+	Corruption float64
+}
+
+// Quest generates a sparse market-basket database per cfg.
+func Quest(cfg QuestConfig) *dataset.DB {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	nPat := cfg.NumPatterns
+	if nPat < 1 {
+		nPat = 1
+	}
+	// Pattern pool: sizes Poisson(AvgPatternLen), items Zipf-ish skewed
+	// so some items are much more popular than others. Pattern weights
+	// are exponential, matching Quest.
+	patterns := make([]itemset.Itemset, nPat)
+	weights := make([]float64, nPat)
+	totalW := 0.0
+	for p := range patterns {
+		size := poisson(r, float64(cfg.AvgPatternLen))
+		if size < 1 {
+			size = 1
+		}
+		items := make([]itemset.Item, size)
+		for i := range items {
+			items[i] = itemset.Item(zipfish(r, cfg.NumItems))
+		}
+		patterns[p] = itemset.New(items...)
+		weights[p] = r.ExpFloat64()
+		totalW += weights[p]
+	}
+	// Cumulative weights for pattern selection.
+	cum := make([]float64, nPat)
+	acc := 0.0
+	for p, w := range weights {
+		acc += w / totalW
+		cum[p] = acc
+	}
+	pick := func() itemset.Itemset {
+		x := r.Float64()
+		lo, hi := 0, nPat-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return patterns[lo]
+	}
+	db := &dataset.DB{Name: cfg.Name, Transactions: make([]dataset.Transaction, cfg.NumTransactions)}
+	for t := 0; t < cfg.NumTransactions; t++ {
+		target := poisson(r, float64(cfg.AvgTransLen))
+		if target < 1 {
+			target = 1
+		}
+		var items []itemset.Item
+		for len(items) < target {
+			pat := pick()
+			contributed := false
+			for _, it := range pat {
+				if r.Float64() >= cfg.Corruption {
+					items = append(items, it)
+					contributed = true
+				}
+			}
+			// Guarantee progress when corruption dropped the whole pattern.
+			if !contributed {
+				items = append(items, itemset.Item(zipfish(r, cfg.NumItems)))
+			}
+		}
+		db.Transactions[t] = itemset.New(items...)
+	}
+	return db
+}
+
+// poisson samples a Poisson(mean) variate by inversion (mean modest).
+func poisson(r *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	// Knuth's algorithm; fine for mean up to ~60 as used here.
+	l := 1.0
+	limit := expNeg(mean)
+	k := 0
+	for {
+		l *= r.Float64()
+		if l <= limit {
+			return k
+		}
+		k++
+	}
+}
+
+// expNeg computes e^-x without importing math (keeps the package's
+// dependency surface minimal and deterministic across platforms).
+func expNeg(x float64) float64 {
+	// e^-x = 1/e^x; compute e^x by scaling-and-squaring of the series.
+	n := 0
+	for x > 0.5 {
+		x /= 2
+		n++
+	}
+	// Taylor for e^x on [0, 0.5].
+	term, sum := 1.0, 1.0
+	for i := 1; i <= 12; i++ {
+		term *= x / float64(i)
+		sum += term
+	}
+	for ; n > 0; n-- {
+		sum *= sum
+	}
+	return 1 / sum
+}
+
+// zipfish returns an item in [0, n) with a heavy skew toward low codes,
+// approximating the popularity skew of market-basket items.
+func zipfish(r *rand.Rand, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	// Square of a uniform biases toward 0 with a ~1/sqrt tail weight.
+	u := r.Float64()
+	return int(u * u * float64(n))
+}
+
+// DropHighSupport removes every item whose support is >= frac*|D|,
+// then drops transactions that become empty. This is how pumsb_star is
+// derived from pumsb ("does not contain any item with a support of 80%
+// or more").
+func DropHighSupport(db *dataset.DB, frac float64, name string) *dataset.DB {
+	limit := int(frac * float64(len(db.Transactions)))
+	counts := db.ItemCounts()
+	out := &dataset.DB{Name: name}
+	for _, tr := range db.Transactions {
+		nt := make(dataset.Transaction, 0, len(tr))
+		for _, it := range tr {
+			if counts[it] < limit {
+				nt = append(nt, it)
+			}
+		}
+		if len(nt) > 0 {
+			out.Transactions = append(out.Transactions, nt)
+		}
+	}
+	return out
+}

@@ -1,0 +1,325 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func catCfg(seed int64, nTrans int) CategoricalConfig {
+	return CategoricalConfig{
+		Name:            "cat",
+		Seed:            seed,
+		NumTransactions: nTrans,
+		Attributes:      []AttrSpec{{2}, {3}, {5}, {2}},
+		NumGroups:       2,
+		SharedFrac:      0.5,
+		ConformistFrac:  0.8,
+		WHi:             0.9,
+		WLo:             0.4,
+		Spread:          1.0,
+		NonConfFactor:   0.5,
+	}
+}
+
+func TestCategoricalShape(t *testing.T) {
+	db := Categorical(catCfg(1, 500))
+	if len(db.Transactions) != 500 {
+		t.Fatalf("transactions = %d", len(db.Transactions))
+	}
+	// Every transaction has exactly one item per attribute, within the
+	// attribute's item range.
+	bases := []int{0, 2, 5, 10, 12}
+	for _, tr := range db.Transactions {
+		if len(tr) != 4 {
+			t.Fatalf("transaction length %d, want 4", len(tr))
+		}
+		for a := 0; a < 4; a++ {
+			if int(tr[a]) < bases[a] || int(tr[a]) >= bases[a+1] {
+				t.Fatalf("attribute %d item %d out of range [%d,%d)", a, tr[a], bases[a], bases[a+1])
+			}
+		}
+		if !tr.IsSorted() {
+			t.Fatal("transaction not sorted")
+		}
+	}
+}
+
+func TestCategoricalDeterministic(t *testing.T) {
+	a := Categorical(catCfg(42, 200))
+	b := Categorical(catCfg(42, 200))
+	for i := range a.Transactions {
+		if !a.Transactions[i].Equal(b.Transactions[i]) {
+			t.Fatalf("same seed diverged at transaction %d", i)
+		}
+	}
+	c := Categorical(catCfg(43, 200))
+	same := true
+	for i := range a.Transactions {
+		if !a.Transactions[i].Equal(c.Transactions[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestCategoricalDominanceSpectrum(t *testing.T) {
+	// Attribute 0 (w = WHi) must have a far more skewed distribution
+	// than the last attribute (w = WLo).
+	cfg := CategoricalConfig{
+		Seed: 7, NumTransactions: 4000,
+		Attributes:     []AttrSpec{{4}, {4}, {4}, {4}},
+		NumGroups:      1,
+		SharedFrac:     1,
+		ConformistFrac: 1,
+		WHi:            0.95, WLo: 0.3, Spread: 1, NonConfFactor: 1,
+	}
+	db := Categorical(cfg)
+	counts := db.ItemCounts()
+	first := float64(counts[0]) / 4000 // attr 0 dominant (item 0)
+	last := float64(counts[12]) / 4000 // attr 3 dominant (item 12)
+	if first < 0.9 || first > 1.0 {
+		t.Errorf("attr 0 dominant support = %v, want ~0.95", first)
+	}
+	if last < 0.2 || last > 0.4 {
+		t.Errorf("attr 3 dominant support = %v, want ~0.3", last)
+	}
+}
+
+func TestCategoricalCorrelation(t *testing.T) {
+	// Conformist mixing must make dominant values positively correlated:
+	// P(both attr0 and attr1 dominant) > P(attr0)·P(attr1).
+	cfg := CategoricalConfig{
+		Seed: 9, NumTransactions: 6000,
+		Attributes:     []AttrSpec{{3}, {3}},
+		NumGroups:      1,
+		SharedFrac:     1,
+		ConformistFrac: 0.5,
+		WHi:            0.9, WLo: 0.9, Spread: 1, NonConfFactor: 0.3,
+	}
+	db := Categorical(cfg)
+	n := float64(len(db.Transactions))
+	var c0, c1, c01 float64
+	for _, tr := range db.Transactions {
+		d0 := tr[0] == 0
+		d1 := tr[1] == 3
+		if d0 {
+			c0++
+		}
+		if d1 {
+			c1++
+		}
+		if d0 && d1 {
+			c01++
+		}
+	}
+	if c01/n <= (c0/n)*(c1/n)+0.02 {
+		t.Errorf("no positive correlation: joint=%.3f marginals=%.3f*%.3f", c01/n, c0/n, c1/n)
+	}
+}
+
+func TestQuestShape(t *testing.T) {
+	cfg := QuestConfig{
+		Name: "q", Seed: 5, NumTransactions: 2000,
+		AvgTransLen: 10, NumItems: 200, NumPatterns: 50, AvgPatternLen: 4, Corruption: 0.5,
+	}
+	db := Quest(cfg)
+	if len(db.Transactions) != 2000 {
+		t.Fatalf("transactions = %d", len(db.Transactions))
+	}
+	total := 0
+	for _, tr := range db.Transactions {
+		if len(tr) == 0 {
+			t.Fatal("empty transaction")
+		}
+		if !tr.IsSorted() {
+			t.Fatal("unsorted transaction")
+		}
+		for _, it := range tr {
+			if int(it) >= 200 {
+				t.Fatalf("item %d out of universe", it)
+			}
+		}
+		total += len(tr)
+	}
+	avg := float64(total) / 2000
+	// Dedup in itemset.New means the average lands at or a bit below the
+	// target; it must be in a sane band.
+	if avg < 6 || avg > 12 {
+		t.Errorf("average transaction length = %v, want ~10", avg)
+	}
+}
+
+func TestQuestDeterministic(t *testing.T) {
+	cfg := QuestConfig{Name: "q", Seed: 11, NumTransactions: 100,
+		AvgTransLen: 8, NumItems: 100, NumPatterns: 20, AvgPatternLen: 3, Corruption: 0.5}
+	a, b := Quest(cfg), Quest(cfg)
+	for i := range a.Transactions {
+		if !a.Transactions[i].Equal(b.Transactions[i]) {
+			t.Fatalf("same seed diverged at transaction %d", i)
+		}
+	}
+}
+
+func TestQuestSkew(t *testing.T) {
+	// Item popularity must be skewed: the most popular decile of items
+	// should carry several times the traffic of the least popular decile.
+	cfg := QuestConfig{Name: "q", Seed: 13, NumTransactions: 3000,
+		AvgTransLen: 12, NumItems: 100, NumPatterns: 100, AvgPatternLen: 4, Corruption: 0.4}
+	db := Quest(cfg)
+	counts := db.ItemCounts()
+	var lo, hi int
+	for it, c := range counts {
+		if it < 10 {
+			hi += c
+		}
+		if it >= 90 {
+			lo += c
+		}
+	}
+	if hi < 3*lo {
+		t.Errorf("popularity not skewed: top decile %d vs bottom %d", hi, lo)
+	}
+}
+
+func TestDropHighSupport(t *testing.T) {
+	cfg := catCfg(21, 1000)
+	cfg.WHi, cfg.WLo = 0.95, 0.95 // all dominants very frequent
+	db := Categorical(cfg)
+	out := DropHighSupport(db, 0.8, "star")
+	if out.Name != "star" {
+		t.Errorf("name = %q", out.Name)
+	}
+	counts := out.ItemCounts()
+	limit := int(0.8 * float64(len(db.Transactions)))
+	for it, c := range db.ItemCounts() {
+		if c >= limit {
+			if _, still := counts[it]; still {
+				t.Errorf("item %d (support %d) survived the drop", it, c)
+			}
+		}
+	}
+	// Average length must shrink.
+	if out.ComputeStats().AvgLength >= db.ComputeStats().AvgLength {
+		t.Error("drop did not shorten transactions")
+	}
+}
+
+func TestDropHighSupportRemovesEmptyTransactions(t *testing.T) {
+	cfg := catCfg(3, 200)
+	cfg.Attributes = []AttrSpec{{1}} // single always-identical item
+	db := Categorical(cfg)
+	out := DropHighSupport(db, 0.5, "empty")
+	if len(out.Transactions) != 0 {
+		t.Errorf("kept %d transactions with no items", len(out.Transactions))
+	}
+}
+
+func TestExpNeg(t *testing.T) {
+	for _, x := range []float64{0, 0.1, 0.5, 1, 2, 5, 10, 40} {
+		got := expNeg(x)
+		want := math.Exp(-x)
+		if math.Abs(got-want) > 1e-6*want+1e-12 {
+			t.Errorf("expNeg(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	const n = 20000
+	for _, mean := range []float64{1, 4, 10, 40} {
+		total := 0
+		for i := 0; i < n; i++ {
+			total += poisson(r, mean)
+		}
+		got := float64(total) / n
+		if math.Abs(got-mean) > 0.05*mean+0.1 {
+			t.Errorf("poisson mean %v: sample mean %v", mean, got)
+		}
+	}
+}
+
+func TestGeometricBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	for i := 0; i < 1000; i++ {
+		if v := geometric(r, 5); v < 0 || v >= 5 {
+			t.Fatalf("geometric out of range: %d", v)
+		}
+	}
+	if geometric(r, 1) != 0 {
+		t.Error("geometric(1) != 0")
+	}
+}
+
+func TestZipfishBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	seen0 := false
+	for i := 0; i < 2000; i++ {
+		v := zipfish(r, 50)
+		if v < 0 || v >= 50 {
+			t.Fatalf("zipfish out of range: %d", v)
+		}
+		if v == 0 {
+			seen0 = true
+		}
+	}
+	if !seen0 {
+		t.Error("zipfish never produced 0")
+	}
+	if zipfish(r, 1) != 0 {
+		t.Error("zipfish(1) != 0")
+	}
+}
+
+func TestPow(t *testing.T) {
+	cases := []struct{ x, y, want, tol float64 }{
+		{0.5, 2, 0.25, 1e-12},
+		{0.9, 1, 0.9, 1e-12},
+		{0.8, 0, 1, 1e-12},
+		{0.7, 3, 0.343, 1e-12},
+		{0.6, 0.5, math.Pow(0.6, 0.5), 0.05}, // linear blend is approximate
+	}
+	for _, c := range cases {
+		if got := pow(c.x, c.y); math.Abs(got-c.want) > c.tol {
+			t.Errorf("pow(%v,%v) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+// Property: categorical generation is always valid regardless of config.
+func TestQuickCategoricalValid(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	law := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nAttrs := 1 + r.Intn(6)
+		attrs := make([]AttrSpec, nAttrs)
+		for i := range attrs {
+			attrs[i] = AttrSpec{Domain: 1 + r.Intn(6)}
+		}
+		c := CategoricalConfig{
+			Seed: seed, NumTransactions: 50 + r.Intn(100),
+			Attributes: attrs, NumGroups: 1 + r.Intn(4),
+			SharedFrac: r.Float64(), ConformistFrac: r.Float64(),
+			WHi: 0.5 + r.Float64()/2, WLo: r.Float64() / 2,
+			Spread: 0.5 + 2*r.Float64(), NonConfFactor: r.Float64(),
+		}
+		db := Categorical(c)
+		if len(db.Transactions) != c.NumTransactions {
+			return false
+		}
+		for _, tr := range db.Transactions {
+			if len(tr) != nAttrs || !tr.IsSorted() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(law, cfg); err != nil {
+		t.Errorf("categorical validity: %v", err)
+	}
+}

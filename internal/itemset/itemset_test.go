@@ -1,0 +1,317 @@
+package itemset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSortsAndDeduplicates(t *testing.T) {
+	cases := []struct {
+		in   []Item
+		want Itemset
+	}{
+		{nil, Itemset{}},
+		{[]Item{5}, Itemset{5}},
+		{[]Item{3, 1, 2}, Itemset{1, 2, 3}},
+		{[]Item{2, 2, 2}, Itemset{2}},
+		{[]Item{9, 1, 9, 1, 5}, Itemset{1, 5, 9}},
+	}
+	for _, c := range cases {
+		got := New(c.in...)
+		if !got.Equal(c.want) {
+			t.Errorf("New(%v) = %v, want %v", c.in, got, c.want)
+		}
+		if !got.IsSorted() {
+			t.Errorf("New(%v) = %v is not sorted", c.in, got)
+		}
+	}
+}
+
+func TestNewDoesNotModifyInput(t *testing.T) {
+	in := []Item{3, 1, 2}
+	New(in...)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("New modified its input: %v", in)
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := New(2, 4, 6, 8)
+	for _, x := range []Item{2, 4, 6, 8} {
+		if !s.Contains(x) {
+			t.Errorf("Contains(%d) = false, want true", x)
+		}
+	}
+	for _, x := range []Item{0, 1, 3, 5, 7, 9, 100} {
+		if s.Contains(x) {
+			t.Errorf("Contains(%d) = true, want false", x)
+		}
+	}
+	if (Itemset{}).Contains(0) {
+		t.Error("empty set Contains(0) = true")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Itemset
+		want int
+	}{
+		{New(), New(), 0},
+		{New(1), New(), 1},
+		{New(), New(1), -1},
+		{New(1, 2), New(1, 2), 0},
+		{New(1, 2), New(1, 3), -1},
+		{New(1, 3), New(1, 2), 1},
+		{New(1), New(1, 2), -1},
+		{New(1, 2, 3), New(2), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("%v.Compare(%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJoin(t *testing.T) {
+	a := New(1, 2, 5)
+	b := New(1, 2, 7)
+	got, ok := a.Join(b)
+	if !ok || !got.Equal(New(1, 2, 5, 7)) {
+		t.Errorf("Join = %v, %v; want {1,2,5,7}, true", got, ok)
+	}
+	// Order of operands must not matter.
+	got2, ok2 := b.Join(a)
+	if !ok2 || !got2.Equal(got) {
+		t.Errorf("Join not symmetric: %v vs %v", got, got2)
+	}
+	// Prefix mismatch.
+	if _, ok := New(1, 2, 5).Join(New(1, 3, 7)); ok {
+		t.Error("Join accepted mismatched prefix")
+	}
+	// Same last item.
+	if _, ok := New(1, 2, 5).Join(New(1, 2, 5)); ok {
+		t.Error("Join accepted identical itemsets")
+	}
+	// Length mismatch.
+	if _, ok := New(1, 2).Join(New(1, 2, 3)); ok {
+		t.Error("Join accepted different lengths")
+	}
+	// Empty.
+	if _, ok := New().Join(New()); ok {
+		t.Error("Join accepted empty itemsets")
+	}
+	// 1-itemsets share the empty prefix.
+	c, ok := New(4).Join(New(2))
+	if !ok || !c.Equal(New(2, 4)) {
+		t.Errorf("Join of 1-itemsets = %v, %v", c, ok)
+	}
+}
+
+func TestExtend(t *testing.T) {
+	s := New(1, 3)
+	e := s.Extend(7)
+	if !e.Equal(New(1, 3, 7)) {
+		t.Errorf("Extend = %v", e)
+	}
+	if !s.Equal(New(1, 3)) {
+		t.Errorf("Extend modified receiver: %v", s)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Extend with out-of-order item did not panic")
+		}
+	}()
+	s.Extend(2)
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := New(1, 2, 3, 5, 8)
+	b := New(2, 3, 5, 7)
+	if got := a.Union(b); !got.Equal(New(1, 2, 3, 5, 7, 8)) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(New(2, 3, 5)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Minus(b); !got.Equal(New(1, 8)) {
+		t.Errorf("Minus = %v", got)
+	}
+	if got := b.Minus(a); !got.Equal(New(7)) {
+		t.Errorf("Minus = %v", got)
+	}
+}
+
+func TestIsSubsetOf(t *testing.T) {
+	cases := []struct {
+		a, b Itemset
+		want bool
+	}{
+		{New(), New(), true},
+		{New(), New(1, 2), true},
+		{New(1), New(1, 2), true},
+		{New(2), New(1, 2), true},
+		{New(1, 2), New(1, 2), true},
+		{New(1, 3), New(1, 2), false},
+		{New(1, 2, 3), New(1, 2), false},
+		{New(0), New(1, 2), false},
+	}
+	for _, c := range cases {
+		if got := c.a.IsSubsetOf(c.b); got != c.want {
+			t.Errorf("%v.IsSubsetOf(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAllButOne(t *testing.T) {
+	s := New(1, 2, 3)
+	var got []Itemset
+	s.AllButOne(func(sub Itemset) { got = append(got, sub.Clone()) })
+	want := []Itemset{New(2, 3), New(1, 3), New(1, 2)}
+	if len(got) != len(want) {
+		t.Fatalf("AllButOne produced %d subsets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("subset %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Empty set yields nothing.
+	calls := 0
+	New().AllButOne(func(Itemset) { calls++ })
+	if calls != 0 {
+		t.Errorf("AllButOne on empty set made %d calls", calls)
+	}
+	// Singleton yields the empty subset once.
+	calls = 0
+	New(9).AllButOne(func(sub Itemset) {
+		calls++
+		if len(sub) != 0 {
+			t.Errorf("singleton subset = %v, want empty", sub)
+		}
+	})
+	if calls != 1 {
+		t.Errorf("AllButOne on singleton made %d calls, want 1", calls)
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	sets := []Itemset{New(), New(0), New(1, 2, 3), New(0, 1<<31, 1<<31+5)}
+	for _, s := range sets {
+		got, err := FromKey(s.Key())
+		if err != nil {
+			t.Fatalf("FromKey(%v.Key()): %v", s, err)
+		}
+		if !got.Equal(s) {
+			t.Errorf("round trip %v -> %v", s, got)
+		}
+	}
+	if _, err := FromKey("abc"); err == nil {
+		t.Error("FromKey accepted malformed key")
+	}
+	// Key of an unsorted encoding must be rejected.
+	bad := string([]byte{0, 0, 0, 2, 0, 0, 0, 1})
+	if _, err := FromKey(bad); err == nil {
+		t.Error("FromKey accepted unsorted key")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(3, 1).String(); got != "{1, 3}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New().String(); got != "{}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestSortItemsets(t *testing.T) {
+	sets := []Itemset{New(2), New(1, 5), New(1), New(1, 2)}
+	Sort(sets)
+	want := []Itemset{New(1), New(1, 2), New(1, 5), New(2)}
+	for i := range want {
+		if !sets[i].Equal(want[i]) {
+			t.Errorf("Sort[%d] = %v, want %v", i, sets[i], want[i])
+		}
+	}
+}
+
+// randomSet builds a random itemset with items below n.
+func randomSet(r *rand.Rand, n int) Itemset {
+	k := r.Intn(8)
+	items := make([]Item, k)
+	for i := range items {
+		items[i] = Item(r.Intn(n))
+	}
+	return New(items...)
+}
+
+func TestQuickSetLaws(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	// |A ∩ B| + |A ∪ B| = |A| + |B|
+	law := func(seedA, seedB int64) bool {
+		a := randomSet(rand.New(rand.NewSource(seedA)), 30)
+		b := randomSet(rand.New(rand.NewSource(seedB)), 30)
+		return a.Intersect(b).Len()+a.Union(b).Len() == a.Len()+b.Len()
+	}
+	if err := quick.Check(law, cfg); err != nil {
+		t.Errorf("inclusion-exclusion law: %v", err)
+	}
+	// A \ B is disjoint from B and a subset of A; (A\B) ∪ (A∩B) = A.
+	law2 := func(seedA, seedB int64) bool {
+		a := randomSet(rand.New(rand.NewSource(seedA)), 30)
+		b := randomSet(rand.New(rand.NewSource(seedB)), 30)
+		d := a.Minus(b)
+		if d.Intersect(b).Len() != 0 || !d.IsSubsetOf(a) {
+			return false
+		}
+		return d.Union(a.Intersect(b)).Equal(a)
+	}
+	if err := quick.Check(law2, cfg); err != nil {
+		t.Errorf("difference law: %v", err)
+	}
+	// Union commutative, intersect commutative.
+	law3 := func(seedA, seedB int64) bool {
+		a := randomSet(rand.New(rand.NewSource(seedA)), 30)
+		b := randomSet(rand.New(rand.NewSource(seedB)), 30)
+		return a.Union(b).Equal(b.Union(a)) && a.Intersect(b).Equal(b.Intersect(a))
+	}
+	if err := quick.Check(law3, cfg); err != nil {
+		t.Errorf("commutativity: %v", err)
+	}
+	// Key round trip for arbitrary sets.
+	law4 := func(seed int64) bool {
+		a := randomSet(rand.New(rand.NewSource(seed)), 1000)
+		got, err := FromKey(a.Key())
+		return err == nil && got.Equal(a)
+	}
+	if err := quick.Check(law4, cfg); err != nil {
+		t.Errorf("key round trip: %v", err)
+	}
+	// Join of sibling extensions reproduces Union.
+	law5 := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomSet(r, 20)
+		var x, y Item = Item(21 + r.Intn(10)), Item(32 + r.Intn(10))
+		a, b := p.Extend(x), p.Extend(y)
+		j, ok := a.Join(b)
+		return ok && j.Equal(a.Union(b))
+	}
+	if err := quick.Check(law5, cfg); err != nil {
+		t.Errorf("join/union law: %v", err)
+	}
+}
+
+func BenchmarkIntersect(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	a := randomSet(r, 10000)
+	for len(a) < 6 {
+		a = randomSet(r, 10000)
+	}
+	c := randomSet(r, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Intersect(c)
+	}
+}

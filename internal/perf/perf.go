@@ -1,0 +1,164 @@
+// Package perf instruments mining runs. A Collector records, for every
+// parallel loop a miner executes (a "phase"), the cost of each iteration
+// ("task"): bytes of compute work, bytes read from parent candidate data,
+// and bytes allocated for results. The recorded Trace is both a
+// performance report (memory-footprint tables, candidate counts) and the
+// input to the NUMA machine simulator (package machine), which replays
+// the task stream under arbitrary thread counts.
+//
+// A nil *Collector is valid everywhere and records nothing, so the
+// miners' hot loops pay a single nil check when instrumentation is off.
+package perf
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/sched"
+)
+
+// Phase is one parallel loop: n tasks run under a schedule. The cost
+// slices are indexed by iteration. Shared marks phases whose parent data
+// is globally shared across the machine (Apriori's candidate levels), as
+// opposed to worker-private (Eclat's per-class recursion); the machine
+// model charges remote-access penalties only to shared reads.
+type Phase struct {
+	Name     string
+	Schedule sched.Schedule
+	Shared   bool
+	// Serial is the serial (single-threaded) work in bytes surrounding
+	// the loop: candidate generation, pruning, commit. It bounds
+	// scalability Amdahl-style.
+	Serial int64
+	// UniqueParent is the payload footprint, in bytes, of the parent
+	// pool a single task's reads draw from. For Apriori this is the
+	// whole previous level (breadth-first: any task reads any parent —
+	// "Apriori must store all candidates for each generation"); for an
+	// Eclat subtree task it is just its own equivalence class. The
+	// machine model compares it against cache capacity to decide how
+	// much of the Remote traffic actually crosses the interconnect: a
+	// small working set stays cache-resident after first touch, one far
+	// beyond capacity misses on every combine.
+	UniqueParent int64
+	// Work, Remote, Alloc hold per-task byte counts: total bytes
+	// touched, bytes read from parent payloads, bytes allocated.
+	Work   []int64
+	Remote []int64
+	Alloc  []int64
+}
+
+// Tasks returns the number of tasks in the phase.
+func (p *Phase) Tasks() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.Work)
+}
+
+// Add accumulates cost onto task i. It is safe for concurrent use by
+// distinct i and by repeated calls for the same i from its owning worker.
+func (p *Phase) Add(i int, work, remote, alloc int64) {
+	if p == nil {
+		return
+	}
+	atomic.AddInt64(&p.Work[i], work)
+	atomic.AddInt64(&p.Remote[i], remote)
+	atomic.AddInt64(&p.Alloc[i], alloc)
+}
+
+// AddSerial accumulates serial work around the loop.
+func (p *Phase) AddSerial(bytes int64) {
+	if p == nil {
+		return
+	}
+	atomic.AddInt64(&p.Serial, bytes)
+}
+
+// TotalWork sums per-task work.
+func (p *Phase) TotalWork() int64 { return sum(p.Work) }
+
+// TotalRemote sums per-task remote bytes.
+func (p *Phase) TotalRemote() int64 { return sum(p.Remote) }
+
+// TotalAlloc sums per-task allocated bytes.
+func (p *Phase) TotalAlloc() int64 { return sum(p.Alloc) }
+
+func sum(xs []int64) int64 {
+	var t int64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Collector accumulates the phases of one mining run.
+type Collector struct {
+	Phases []*Phase
+}
+
+// NewPhase appends a phase of n tasks and returns it. On a nil collector
+// it returns nil, which every Phase method tolerates.
+func (c *Collector) NewPhase(name string, s sched.Schedule, shared bool, n int) *Phase {
+	if c == nil {
+		return nil
+	}
+	p := &Phase{
+		Name:     name,
+		Schedule: s,
+		Shared:   shared,
+		Work:     make([]int64, n),
+		Remote:   make([]int64, n),
+		Alloc:    make([]int64, n),
+	}
+	c.Phases = append(c.Phases, p)
+	return p
+}
+
+// TotalWork sums work over all phases, serial included.
+func (c *Collector) TotalWork() int64 {
+	if c == nil {
+		return 0
+	}
+	var t int64
+	for _, p := range c.Phases {
+		t += p.TotalWork() + p.Serial
+	}
+	return t
+}
+
+// TotalRemote sums remote bytes over all phases.
+func (c *Collector) TotalRemote() int64 {
+	if c == nil {
+		return 0
+	}
+	var t int64
+	for _, p := range c.Phases {
+		t += p.TotalRemote()
+	}
+	return t
+}
+
+// TotalAlloc sums allocated bytes over all phases.
+func (c *Collector) TotalAlloc() int64 {
+	if c == nil {
+		return 0
+	}
+	var t int64
+	for _, p := range c.Phases {
+		t += p.TotalAlloc()
+	}
+	return t
+}
+
+// Summary formats a one-line-per-phase report.
+func (c *Collector) Summary() string {
+	if c == nil {
+		return "(no instrumentation)"
+	}
+	out := ""
+	for _, p := range c.Phases {
+		out += fmt.Sprintf("%-24s sched=%-10v shared=%-5v tasks=%-8d work=%-12d remote=%-12d alloc=%d\n",
+			p.Name, p.Schedule, p.Shared, p.Tasks(), p.TotalWork(), p.TotalRemote(), p.TotalAlloc())
+	}
+	return out
+}

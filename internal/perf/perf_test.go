@@ -1,0 +1,95 @@
+package perf
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	p := c.NewPhase("x", sched.Schedule{}, true, 10)
+	if p != nil {
+		t.Fatal("nil collector returned a phase")
+	}
+	// Every method must tolerate the nil phase.
+	p.Add(3, 1, 2, 3)
+	p.AddSerial(5)
+	if p.Tasks() != 0 {
+		t.Error("nil phase has tasks")
+	}
+	if c.TotalWork() != 0 || c.TotalRemote() != 0 || c.TotalAlloc() != 0 {
+		t.Error("nil collector has totals")
+	}
+	if c.Summary() == "" {
+		t.Error("nil collector summary empty")
+	}
+}
+
+func TestPhaseAccumulation(t *testing.T) {
+	c := &Collector{}
+	p := c.NewPhase("gen2", sched.Schedule{Policy: sched.Static}, true, 3)
+	p.Add(0, 10, 4, 2)
+	p.Add(1, 20, 8, 4)
+	p.Add(0, 5, 1, 1) // same task twice accumulates
+	p.AddSerial(7)
+	if p.TotalWork() != 35 || p.TotalRemote() != 13 || p.TotalAlloc() != 7 {
+		t.Errorf("totals = %d/%d/%d", p.TotalWork(), p.TotalRemote(), p.TotalAlloc())
+	}
+	if p.Serial != 7 {
+		t.Errorf("serial = %d", p.Serial)
+	}
+	if p.Work[0] != 15 || p.Work[2] != 0 {
+		t.Errorf("per-task work = %v", p.Work)
+	}
+	if c.TotalWork() != 42 { // includes serial
+		t.Errorf("collector total = %d", c.TotalWork())
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	c := &Collector{}
+	p := c.NewPhase("par", sched.Schedule{}, false, 100)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				p.Add(i, 1, 1, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.TotalWork() != 800 {
+		t.Errorf("concurrent total = %d", p.TotalWork())
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	c := &Collector{}
+	p := c.NewPhase("apriori/gen2", sched.Schedule{Policy: sched.Dynamic, Chunk: 1}, true, 2)
+	p.Add(0, 100, 50, 25)
+	s := c.Summary()
+	for _, want := range []string{"apriori/gen2", "dynamic,1", "tasks=2", "work=100"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMultiplePhases(t *testing.T) {
+	c := &Collector{}
+	a := c.NewPhase("a", sched.Schedule{}, true, 1)
+	b := c.NewPhase("b", sched.Schedule{}, false, 1)
+	a.Add(0, 5, 2, 1)
+	b.Add(0, 7, 3, 2)
+	if len(c.Phases) != 2 {
+		t.Fatalf("phases = %d", len(c.Phases))
+	}
+	if c.TotalWork() != 12 || c.TotalRemote() != 5 || c.TotalAlloc() != 3 {
+		t.Errorf("totals = %d/%d/%d", c.TotalWork(), c.TotalRemote(), c.TotalAlloc())
+	}
+}

@@ -1,0 +1,253 @@
+// Package ptrie implements the classic pointer-linked candidate trie of
+// Bodon's Apriori line of work (the paper's references [1]–[4]): "the
+// trie data structure is most often used to represent candidate
+// itemsets". The paper replaces it with flat per-level tables to suit
+// OpenMP (package trie); this package keeps the original form so the two
+// can be compared (ablation A6) and cross-checked.
+//
+// Support counting is the trie-descent method: each transaction walks
+// the trie once, incrementing the counter of every candidate leaf it
+// reaches — the horizontal counting style that made tries popular before
+// vertical layouts took over.
+package ptrie
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+	"repro/internal/sched"
+)
+
+// node is one trie node; the path from the root spells an itemset.
+type node struct {
+	item     itemset.Item
+	children []*node // ordered by item
+	// leaf is the counter slot index at the current candidate depth,
+	// -1 for interior or non-candidate nodes.
+	leaf int32
+	// support is filled in when the node's level is counted and kept.
+	support int
+}
+
+// find returns the child with the given item, or nil.
+func (n *node) find(it itemset.Item) *node {
+	i := sort.Search(len(n.children), func(i int) bool { return n.children[i].item >= it })
+	if i < len(n.children) && n.children[i].item == it {
+		return n.children[i]
+	}
+	return nil
+}
+
+// insert adds (or returns) the child with the given item, keeping order.
+func (n *node) insert(it itemset.Item) *node {
+	i := sort.Search(len(n.children), func(i int) bool { return n.children[i].item >= it })
+	if i < len(n.children) && n.children[i].item == it {
+		return n.children[i]
+	}
+	c := &node{item: it, leaf: -1}
+	n.children = append(n.children, nil)
+	copy(n.children[i+1:], n.children[i:])
+	n.children[i] = c
+	return c
+}
+
+// Trie is a candidate trie with its current candidate depth.
+type Trie struct {
+	root   node
+	depth  int
+	leaves []*node // candidate nodes at the current depth, by slot index
+}
+
+// New builds a depth-1 trie over the frequent items 0..n-1 with their
+// supports.
+func New(supports []int) *Trie {
+	t := &Trie{depth: 1}
+	for i, s := range supports {
+		c := t.root.insert(itemset.Item(i))
+		c.support = s
+	}
+	return t
+}
+
+// Contains reports whether the itemset is a node of the trie.
+func (t *Trie) Contains(s itemset.Itemset) bool {
+	n := &t.root
+	for _, it := range s {
+		if n = n.find(it); n == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// Generate grows depth-(k+1) candidates under every depth-k node by
+// joining sibling pairs, pruning candidates with an infrequent k-subset
+// (checked directly against the trie). It returns the number of
+// candidates created; their counter slots are assigned densely.
+func (t *Trie) Generate() int {
+	t.leaves = t.leaves[:0]
+	prefix := make(itemset.Itemset, 0, t.depth+1)
+	t.generateAt(&t.root, prefix, 1)
+	t.depth++
+	return len(t.leaves)
+}
+
+// generateAt walks to depth-(t.depth-1) nodes and joins their children.
+func (t *Trie) generateAt(n *node, prefix itemset.Itemset, level int) {
+	if level == t.depth {
+		// n's children are the depth-t.depth frequent nodes; join pairs.
+		for i := 0; i < len(n.children); i++ {
+			for j := i + 1; j < len(n.children); j++ {
+				a, b := n.children[i], n.children[j]
+				cand := append(append(prefix.Clone(), a.item), b.item)
+				if !t.allSubsetsFrequent(cand) {
+					continue
+				}
+				leaf := a.insert(b.item)
+				leaf.leaf = int32(len(t.leaves))
+				t.leaves = append(t.leaves, leaf)
+			}
+		}
+		return
+	}
+	for _, c := range n.children {
+		t.generateAt(c, append(prefix, c.item), level+1)
+	}
+}
+
+// allSubsetsFrequent applies the Apriori property via trie lookups.
+func (t *Trie) allSubsetsFrequent(cand itemset.Itemset) bool {
+	ok := true
+	cand.AllButOne(func(sub itemset.Itemset) {
+		if ok && !t.Contains(sub) {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// CountInto walks one transaction through the trie, incrementing the
+// counter slot of every candidate leaf reached. counters must have at
+// least Generate()'s return value slots. This is Bodon's counting step;
+// per-worker counter arrays make it parallel without synchronization.
+func (t *Trie) CountInto(tx itemset.Itemset, counters []int64) {
+	t.countAt(&t.root, tx, 1, counters)
+}
+
+func (t *Trie) countAt(n *node, tx itemset.Itemset, level int, counters []int64) {
+	// Need depth-t.depth descendants: stop early if the transaction is
+	// too short to complete the path.
+	for i, it := range tx {
+		c := n.find(it)
+		if c == nil {
+			continue
+		}
+		if level == t.depth {
+			if c.leaf >= 0 {
+				counters[c.leaf]++
+			}
+			continue
+		}
+		if len(tx)-i-1 >= t.depth-level {
+			t.countAt(c, tx[i+1:], level+1, counters)
+		}
+	}
+}
+
+// Commit records the counted supports and removes infrequent candidate
+// leaves. It returns the number of frequent candidates kept.
+func (t *Trie) Commit(counters []int64, minSup int) int {
+	kept := 0
+	for _, leaf := range t.leaves {
+		leaf.support = int(counters[leaf.leaf])
+		if leaf.support >= minSup {
+			kept++
+		}
+	}
+	t.pruneInfrequent(&t.root, 1, minSup)
+	t.leaves = t.leaves[:0]
+	return kept
+}
+
+// pruneInfrequent removes depth-t.depth leaves below minSup.
+func (t *Trie) pruneInfrequent(n *node, level int, minSup int) {
+	if level == t.depth {
+		w := 0
+		for _, c := range n.children {
+			if c.leaf < 0 || c.support >= minSup {
+				c.leaf = -1
+				n.children[w] = c
+				w++
+			}
+		}
+		n.children = n.children[:w]
+		return
+	}
+	for _, c := range n.children {
+		t.pruneInfrequent(c, level+1, minSup)
+	}
+}
+
+// Frequent enumerates every itemset in the trie with its support.
+func (t *Trie) Frequent() []core.ItemsetCount {
+	var out []core.ItemsetCount
+	var walk func(n *node, prefix itemset.Itemset)
+	walk = func(n *node, prefix itemset.Itemset) {
+		for _, c := range n.children {
+			cur := append(prefix, c.item)
+			out = append(out, core.ItemsetCount{Items: cur.Clone(), Support: c.support})
+			walk(c, cur)
+		}
+	}
+	walk(&t.root, make(itemset.Itemset, 0, t.depth))
+	return out
+}
+
+// Mine runs Apriori with the pointer trie: trie-descent support counting
+// over the horizontal database, parallel over transactions with
+// per-worker counters.
+func Mine(rec *dataset.Recoded, minSup int, workers int) *core.Result {
+	if minSup < 1 {
+		minSup = 1
+	}
+	res := &core.Result{Algorithm: core.Apriori, MinSup: minSup, Rec: rec}
+	sups := make([]int, len(rec.Items))
+	for i, fi := range rec.Items {
+		sups[i] = fi.Support
+	}
+	t := New(sups)
+	team := sched.NewTeam(workers)
+	transactions := rec.DB.Transactions
+	for {
+		n := t.Generate()
+		if n == 0 {
+			break
+		}
+		w := team.Workers()
+		partial := make([][]int64, w)
+		for i := range partial {
+			partial[i] = make([]int64, n)
+		}
+		team.For(len(transactions), sched.Schedule{Policy: sched.Static}, func(worker, i int) {
+			t.CountInto(transactions[i], partial[worker])
+		})
+		total := make([]int64, n)
+		for _, p := range partial {
+			for c, v := range p {
+				total[c] += v
+			}
+		}
+		if t.Commit(total, minSup) == 0 {
+			break
+		}
+	}
+	res.Counts = t.Frequent()
+	for _, c := range res.Counts {
+		if len(c.Items) > res.MaxK {
+			res.MaxK = len(c.Items)
+		}
+	}
+	return res
+}

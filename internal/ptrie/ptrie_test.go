@@ -1,0 +1,152 @@
+package ptrie
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+	"repro/internal/verify"
+)
+
+const classic = `1 2 5
+2 4
+2 3
+1 2 4
+1 3
+2 3
+1 3
+1 2 3 5
+1 2 3
+`
+
+func classicRecoded(t *testing.T, minSup int) *dataset.Recoded {
+	t.Helper()
+	db, err := dataset.ReadFIMI("classic", strings.NewReader(classic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db.Recode(minSup)
+}
+
+func TestTrieStructure(t *testing.T) {
+	tr := New([]int{5, 6, 7})
+	for i := 0; i < 3; i++ {
+		if !tr.Contains(itemset.New(itemset.Item(i))) {
+			t.Errorf("root child %d missing", i)
+		}
+	}
+	if tr.Contains(itemset.New(3)) || tr.Contains(itemset.New(0, 1)) {
+		t.Error("Contains reports absent nodes")
+	}
+	n := tr.Generate()
+	if n != 3 { // C(3,2)
+		t.Fatalf("generated %d candidates", n)
+	}
+	// All pairs now present as (uncounted) candidates.
+	for _, pair := range []itemset.Itemset{itemset.New(0, 1), itemset.New(0, 2), itemset.New(1, 2)} {
+		if !tr.Contains(pair) {
+			t.Errorf("candidate %v missing", pair)
+		}
+	}
+}
+
+func TestCountAndCommit(t *testing.T) {
+	tr := New([]int{3, 3, 3})
+	n := tr.Generate()
+	counters := make([]int64, n)
+	// Transactions: {0,1} twice, {0,1,2} once.
+	tr.CountInto(itemset.New(0, 1), counters)
+	tr.CountInto(itemset.New(0, 1), counters)
+	tr.CountInto(itemset.New(0, 1, 2), counters)
+	kept := tr.Commit(counters, 2)
+	if kept != 1 {
+		t.Fatalf("kept %d candidates", kept)
+	}
+	freq := tr.Frequent()
+	found := false
+	for _, c := range freq {
+		if c.Items.Equal(itemset.New(0, 1)) {
+			found = true
+			if c.Support != 3 {
+				t.Errorf("{0,1} support = %d", c.Support)
+			}
+		}
+		if c.Items.Equal(itemset.New(0, 2)) || c.Items.Equal(itemset.New(1, 2)) {
+			t.Errorf("infrequent %v survived", c.Items)
+		}
+	}
+	if !found {
+		t.Error("{0,1} missing from Frequent")
+	}
+}
+
+func TestSubsetPruningInGenerate(t *testing.T) {
+	// Keep {0,1},{0,2} but not {1,2}: the 3-candidate {0,1,2} must be
+	// pruned by the missing subset.
+	tr := New([]int{3, 3, 3})
+	n := tr.Generate()
+	counters := make([]int64, n)
+	for i := 0; i < 2; i++ {
+		tr.CountInto(itemset.New(0, 1), counters)
+		tr.CountInto(itemset.New(0, 2), counters)
+	}
+	tr.Commit(counters, 2)
+	if got := tr.Generate(); got != 0 {
+		t.Errorf("generated %d level-3 candidates, want 0 (subset pruning)", got)
+	}
+}
+
+func TestMineMatchesReference(t *testing.T) {
+	rec := classicRecoded(t, 2)
+	ref := verify.Reference(rec, 2)
+	for _, workers := range []int{1, 2, 5} {
+		res := Mine(rec, 2, workers)
+		if !res.Equal(ref) {
+			t.Errorf("workers=%d:\n%s", workers, verify.Diff(res, ref))
+		}
+	}
+}
+
+func TestMineEdgeCases(t *testing.T) {
+	rec := (&dataset.DB{}).Recode(1)
+	if res := Mine(rec, 1, 2); res.Len() != 0 {
+		t.Errorf("empty DB: %d itemsets", res.Len())
+	}
+	db, _ := dataset.ReadFIMI("t", strings.NewReader("1 2 3 4\n1 2 3 4\n"))
+	rec2 := db.Recode(2)
+	if res := Mine(rec2, 2, 2); res.Len() != 15 {
+		t.Errorf("full lattice: %d itemsets, want 15", res.Len())
+	}
+}
+
+func TestQuickAgainstReference(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25}
+	law := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := &dataset.DB{Name: "rand"}
+		nTrans := 5 + r.Intn(30)
+		nItems := 3 + r.Intn(6)
+		for i := 0; i < nTrans; i++ {
+			var items []itemset.Item
+			for it := 0; it < nItems; it++ {
+				if r.Intn(3) > 0 {
+					items = append(items, itemset.Item(it))
+				}
+			}
+			if len(items) == 0 {
+				items = append(items, 0)
+			}
+			db.Transactions = append(db.Transactions, itemset.New(items...))
+		}
+		minSup := 1 + r.Intn(nTrans/2+1)
+		rec := db.Recode(minSup)
+		ref := verify.Reference(rec, minSup)
+		return Mine(rec, minSup, 1+r.Intn(4)).Equal(ref)
+	}
+	if err := quick.Check(law, cfg); err != nil {
+		t.Errorf("ptrie vs reference: %v", err)
+	}
+}

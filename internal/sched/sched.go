@@ -1,0 +1,295 @@
+// Package sched provides an OpenMP-style parallel-for over goroutine
+// worker teams, with the three loop schedules the paper's implementation
+// uses: static (Apriori's support-counting loop, §III), dynamic with a
+// small chunk (Eclat's outer class loop, §IV), and guided.
+//
+// The chunk hand-out logic lives in a Chunker so that the NUMA machine
+// simulator (package machine) can replay exactly the same iteration→worker
+// assignment policy inside its discrete-event loop: the real execution and
+// the simulated one share a single source of truth for scheduling
+// semantics.
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Policy names an OpenMP loop schedule.
+type Policy int
+
+const (
+	// Static splits the iteration space into equal contiguous blocks,
+	// one per worker (chunk == 0), or deals fixed-size chunks round-robin
+	// (chunk > 0). Assignment is decided entirely up front.
+	Static Policy = iota
+	// Dynamic deals fixed-size chunks (default 1) to workers as they
+	// become idle, from a shared counter.
+	Dynamic
+	// Guided deals shrinking chunks: each hand-out takes
+	// ceil(remaining/workers) iterations, bounded below by the chunk
+	// size (default 1).
+	Guided
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy maps a schedule name to its Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "static":
+		return Static, nil
+	case "dynamic":
+		return Dynamic, nil
+	case "guided":
+		return Guided, nil
+	}
+	return 0, fmt.Errorf("sched: unknown policy %q", s)
+}
+
+// Schedule pairs a policy with its chunk size. Chunk 0 means the policy's
+// default (whole blocks for static, 1 for dynamic and guided).
+type Schedule struct {
+	Policy Policy
+	Chunk  int
+}
+
+func (s Schedule) String() string {
+	if s.Chunk > 0 {
+		return fmt.Sprintf("%v,%d", s.Policy, s.Chunk)
+	}
+	return s.Policy.String()
+}
+
+// Chunker deals out half-open iteration ranges [lo, hi) of a loop of n
+// iterations to workers. ok=false means the worker is done. Implementations
+// are safe for concurrent use by the team's workers.
+type Chunker interface {
+	Next(worker int) (lo, hi int, ok bool)
+}
+
+// NewChunker builds the Chunker for a loop of n iterations run by p
+// workers under s. It panics on n < 0 or p < 1, which indicate caller
+// bugs, not runtime conditions.
+func NewChunker(n, p int, s Schedule) Chunker {
+	if n < 0 {
+		panic("sched: negative iteration count")
+	}
+	if p < 1 {
+		panic("sched: team needs at least one worker")
+	}
+	switch s.Policy {
+	case Static:
+		return newStaticChunker(n, p, s.Chunk)
+	case Dynamic:
+		c := s.Chunk
+		if c < 1 {
+			c = 1
+		}
+		return &dynamicChunker{n: n, chunk: c}
+	case Guided:
+		c := s.Chunk
+		if c < 1 {
+			c = 1
+		}
+		return &guidedChunker{n: n, p: p, minChunk: c}
+	}
+	panic(fmt.Sprintf("sched: unknown policy %v", s.Policy))
+}
+
+// staticChunker precomputes each worker's chunk list.
+type staticChunker struct {
+	chunks [][][2]int // per worker: list of [lo,hi)
+	pos    []int64    // per worker cursor (atomic, in case of misuse)
+}
+
+func newStaticChunker(n, p, chunk int) *staticChunker {
+	c := &staticChunker{chunks: make([][][2]int, p), pos: make([]int64, p)}
+	if n == 0 {
+		return c
+	}
+	if chunk < 1 {
+		// Contiguous near-equal blocks, like OpenMP schedule(static).
+		base, rem := n/p, n%p
+		lo := 0
+		for w := 0; w < p; w++ {
+			size := base
+			if w < rem {
+				size++
+			}
+			if size > 0 {
+				c.chunks[w] = append(c.chunks[w], [2]int{lo, lo + size})
+			}
+			lo += size
+		}
+		return c
+	}
+	// Fixed chunks dealt round-robin, like schedule(static, chunk).
+	w := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		c.chunks[w] = append(c.chunks[w], [2]int{lo, hi})
+		w = (w + 1) % p
+	}
+	return c
+}
+
+func (c *staticChunker) Next(worker int) (int, int, bool) {
+	i := atomic.AddInt64(&c.pos[worker], 1) - 1
+	lst := c.chunks[worker]
+	if int(i) >= len(lst) {
+		return 0, 0, false
+	}
+	ch := lst[i]
+	return ch[0], ch[1], true
+}
+
+// dynamicChunker deals fixed chunks from a shared atomic counter.
+type dynamicChunker struct {
+	next  int64
+	n     int
+	chunk int
+}
+
+func (c *dynamicChunker) Next(int) (int, int, bool) {
+	lo := int(atomic.AddInt64(&c.next, int64(c.chunk))) - c.chunk
+	if lo >= c.n {
+		return 0, 0, false
+	}
+	hi := lo + c.chunk
+	if hi > c.n {
+		hi = c.n
+	}
+	return lo, hi, true
+}
+
+// guidedChunker deals shrinking chunks under a mutex (the hand-out is
+// rare compared to the work inside a chunk).
+type guidedChunker struct {
+	mu       sync.Mutex
+	next     int
+	n        int
+	p        int
+	minChunk int
+}
+
+func (c *guidedChunker) Next(int) (int, int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	remaining := c.n - c.next
+	if remaining <= 0 {
+		return 0, 0, false
+	}
+	size := (remaining + c.p - 1) / c.p
+	if size < c.minChunk {
+		size = c.minChunk
+	}
+	if size > remaining {
+		size = remaining
+	}
+	lo := c.next
+	c.next += size
+	return lo, lo + size, true
+}
+
+// Team is a reusable group of workers, the analogue of an OpenMP thread
+// team. The zero value is not usable; construct with NewTeam.
+type Team struct {
+	workers int
+}
+
+// NewTeam returns a team of n workers (n >= 1; n is clamped to 1
+// otherwise). The paper's experiments vary n from 1 to 256.
+func NewTeam(n int) *Team {
+	if n < 1 {
+		n = 1
+	}
+	return &Team{workers: n}
+}
+
+// Workers returns the team size.
+func (t *Team) Workers() int { return t.workers }
+
+// For executes body(worker, i) for every i in [0, n) under schedule s.
+// Iterations within a chunk run in order on one worker; chunks run
+// concurrently across workers. For returns when every iteration has
+// completed. body must not panic; a panic propagates and poisons the team.
+func (t *Team) For(n int, s Schedule, body func(worker, i int)) {
+	if n == 0 {
+		return
+	}
+	p := t.workers
+	if p > n {
+		p = n
+	}
+	if p == 1 {
+		for i := 0; i < n; i++ {
+			body(0, i)
+		}
+		return
+	}
+	ch := NewChunker(n, p, s)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				lo, hi, ok := ch.Next(w)
+				if !ok {
+					return
+				}
+				for i := lo; i < hi; i++ {
+					body(w, i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ForChunks is like For but hands whole chunks to the body, for callers
+// that amortize per-chunk setup (e.g. scratch buffers sized once).
+func (t *Team) ForChunks(n int, s Schedule, body func(worker, lo, hi int)) {
+	if n == 0 {
+		return
+	}
+	p := t.workers
+	if p > n {
+		p = n
+	}
+	if p == 1 {
+		body(0, 0, n)
+		return
+	}
+	ch := NewChunker(n, p, s)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				lo, hi, ok := ch.Next(w)
+				if !ok {
+					return
+				}
+				body(w, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

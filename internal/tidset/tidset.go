@@ -1,0 +1,268 @@
+// Package tidset implements sorted transaction-id sets, the "vertical
+// tidset" representation of §II-B of the paper. A tidset t(X) lists, in
+// ascending order, the ids of every transaction containing itemset X.
+// Support counting is intersection: t(PXY) = t(PX) ∩ t(PY), and
+// support(PXY) = |t(PXY)|.
+//
+// The same machinery provides set difference, which is the kernel of the
+// diffset representation: d(PXY) = d(PY) − d(PX) (Zaki & Gouda).
+//
+// All operations come in two forms: an allocating form and an "Into" form
+// that appends into a caller-owned buffer, so the miners' hot loops can
+// recycle per-worker scratch space without touching the allocator.
+package tidset
+
+import "sort"
+
+// TID is a transaction identifier: the 0-based position of a transaction
+// in its database.
+type TID = uint32
+
+// Set is a sorted, duplicate-free list of transaction ids.
+type Set []TID
+
+// New returns a sorted, deduplicated set built from tids.
+func New(tids ...TID) Set {
+	if len(tids) == 0 {
+		return Set{}
+	}
+	s := make(Set, len(tids))
+	copy(s, tids)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	w := 1
+	for r := 1; r < len(s); r++ {
+		if s[r] != s[w-1] {
+			s[w] = s[r]
+			w++
+		}
+	}
+	return s[:w]
+}
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set {
+	c := make(Set, len(s))
+	copy(c, s)
+	return c
+}
+
+// Support returns the cardinality |s|. Named for its role in mining:
+// the support of an itemset is the size of its tidset.
+func (s Set) Support() int { return len(s) }
+
+// Contains reports whether tid is a member of s.
+func (s Set) Contains(tid TID) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= tid })
+	return i < len(s) && s[i] == tid
+}
+
+// IsSorted reports whether s is strictly ascending (the package invariant).
+func (s Set) IsSorted() bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] >= s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t are identical.
+func (s Set) Equal(t Set) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns s ∩ t as a new set.
+func (s Set) Intersect(t Set) Set {
+	return s.IntersectInto(t, make(Set, 0, min(len(s), len(t))))
+}
+
+// IntersectInto appends s ∩ t to dst[:0] and returns it. dst may be nil.
+// When one operand is much shorter than the other it switches to a
+// galloping (exponential search) strategy, which matters for skewed dense
+// data where one parent's tidset is tiny.
+func (s Set) IntersectInto(t Set, dst Set) Set {
+	dst = dst[:0]
+	// Ensure s is the shorter operand.
+	if len(s) > len(t) {
+		s, t = t, s
+	}
+	if len(s) == 0 {
+		return dst
+	}
+	if len(t)/len(s) >= gallopRatio {
+		return gallopIntersect(s, t, dst)
+	}
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		a, b := s[i], t[j]
+		switch {
+		case a < b:
+			i++
+		case a > b:
+			j++
+		default:
+			dst = append(dst, a)
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// gallopRatio is the length disparity at which intersection switches from
+// a linear merge to exponential search over the longer operand.
+const gallopRatio = 16
+
+// gallopIntersect intersects short s against long t by exponential +
+// binary search.
+func gallopIntersect(s, t Set, dst Set) Set {
+	lo := 0
+	for _, x := range s {
+		// Exponential probe from lo.
+		hi, step := lo, 1
+		for hi < len(t) && t[hi] < x {
+			lo = hi + 1
+			hi += step
+			step <<= 1
+		}
+		if hi > len(t) {
+			hi = len(t)
+		}
+		// Binary search in (lo-1, hi].
+		k := lo + sort.Search(hi-lo, func(i int) bool { return t[lo+i] >= x })
+		if k < len(t) && t[k] == x {
+			dst = append(dst, x)
+			lo = k + 1
+		} else {
+			lo = k
+		}
+		if lo >= len(t) {
+			break
+		}
+	}
+	return dst
+}
+
+// Diff returns s \ t as a new set.
+func (s Set) Diff(t Set) Set {
+	return s.DiffInto(t, make(Set, 0, len(s)))
+}
+
+// DiffInto appends s \ t to dst[:0] and returns it.
+func (s Set) DiffInto(t Set, dst Set) Set {
+	dst = dst[:0]
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		a, b := s[i], t[j]
+		switch {
+		case a < b:
+			dst = append(dst, a)
+			i++
+		case a > b:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return append(dst, s[i:]...)
+}
+
+// DiffSize returns |s \ t| without materializing the difference.
+func (s Set) DiffSize(t Set) int {
+	n, i, j := 0, 0, 0
+	for i < len(s) && j < len(t) {
+		a, b := s[i], t[j]
+		switch {
+		case a < b:
+			n++
+			i++
+		case a > b:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return n + len(s) - i
+}
+
+// Union returns s ∪ t as a new set.
+func (s Set) Union(t Set) Set {
+	dst := make(Set, 0, len(s)+len(t))
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		a, b := s[i], t[j]
+		switch {
+		case a < b:
+			dst = append(dst, a)
+			i++
+		case a > b:
+			dst = append(dst, b)
+			j++
+		default:
+			dst = append(dst, a)
+			i++
+			j++
+		}
+	}
+	dst = append(dst, s[i:]...)
+	return append(dst, t[j:]...)
+}
+
+// IntersectSize returns |s ∩ t| without materializing the intersection.
+func (s Set) IntersectSize(t Set) int {
+	if len(s) > len(t) {
+		s, t = t, s
+	}
+	n, i, j := 0, 0, 0
+	for i < len(s) && j < len(t) {
+		a, b := s[i], t[j]
+		switch {
+		case a < b:
+			i++
+		case a > b:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Complement returns {0..n-1} \ s: the tids absent from s in a universe of
+// n transactions. This is how 1-itemset diffsets are seeded: d(x) is the
+// complement of t(x) (paper Figure 2(a)).
+func (s Set) Complement(n int) Set {
+	dst := make(Set, 0, n-len(s))
+	j := 0
+	for tid := TID(0); tid < TID(n); tid++ {
+		if j < len(s) && s[j] == tid {
+			j++
+			continue
+		}
+		dst = append(dst, tid)
+	}
+	return dst
+}
+
+// Words returns the memory footprint of s in 4-byte words. Used by the
+// perf instrumentation to account NUMA traffic.
+func (s Set) Words() int { return len(s) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

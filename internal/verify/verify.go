@@ -1,0 +1,82 @@
+// Package verify provides an independent reference miner and
+// cross-checking helpers used by the test suite. The reference miner
+// shares no code with the optimized miners: it counts support by scanning
+// the horizontal database for every candidate, and explores the search
+// space by straightforward item-by-item extension. It is exponential-ish
+// and meant for small test databases only.
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+)
+
+// Reference mines rec exhaustively by horizontal counting. The result is
+// in canonical order.
+func Reference(rec *dataset.Recoded, minSup int) *core.Result {
+	res := &core.Result{Algorithm: core.Algorithm(-1), MinSup: minSup, Rec: rec}
+	n := len(rec.Items)
+	var extend func(prefix itemset.Itemset, from int)
+	extend = func(prefix itemset.Itemset, from int) {
+		for it := from; it < n; it++ {
+			cand := prefix.Extend(itemset.Item(it))
+			sup := horizontalSupport(rec.DB, cand)
+			if sup < minSup {
+				continue
+			}
+			res.Counts = append(res.Counts, core.ItemsetCount{Items: cand, Support: sup})
+			if len(cand) > res.MaxK {
+				res.MaxK = len(cand)
+			}
+			extend(cand, it+1)
+		}
+	}
+	extend(itemset.New(), 0)
+	return res
+}
+
+func horizontalSupport(db *dataset.DB, s itemset.Itemset) int {
+	c := 0
+	for _, tr := range db.Transactions {
+		if s.IsSubsetOf(tr) {
+			c++
+		}
+	}
+	return c
+}
+
+// Diff explains the first few differences between two results, or returns
+// "" when they agree. Used to produce actionable test failures.
+func Diff(a, b *core.Result) string {
+	am, bm := a.ByKey(), b.ByKey()
+	msg := ""
+	count := 0
+	note := func(f string, args ...any) {
+		if count < 5 {
+			msg += fmt.Sprintf(f, args...)
+		}
+		count++
+	}
+	for k, sa := range am {
+		sb, ok := bm[k]
+		set, _ := itemset.FromKey(k)
+		if !ok {
+			note("only in A: %v (support %d)\n", set, sa)
+		} else if sa != sb {
+			note("support mismatch for %v: A=%d B=%d\n", set, sa, sb)
+		}
+	}
+	for k, sb := range bm {
+		if _, ok := am[k]; !ok {
+			set, _ := itemset.FromKey(k)
+			note("only in B: %v (support %d)\n", set, sb)
+		}
+	}
+	if count > 5 {
+		msg += fmt.Sprintf("... and %d more differences\n", count-5)
+	}
+	return msg
+}

@@ -1,0 +1,95 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+)
+
+func recoded(t *testing.T, text string, minSup int) *dataset.Recoded {
+	t.Helper()
+	db, err := dataset.ReadFIMI("t", strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db.Recode(minSup)
+}
+
+func TestReferenceHandComputed(t *testing.T) {
+	rec := recoded(t, "1 2\n1 2\n1 3\n2\n", 2)
+	res := Reference(rec, 2)
+	want := map[string]int{
+		itemset.New(0).Key():    3, // item 1
+		itemset.New(1).Key():    3, // item 2
+		itemset.New(0, 1).Key(): 2, // {1,2}
+	}
+	if res.Len() != len(want) {
+		t.Fatalf("found %d itemsets: %v", res.Len(), res.Counts)
+	}
+	got := res.ByKey()
+	for k, sup := range want {
+		if got[k] != sup {
+			set, _ := itemset.FromKey(k)
+			t.Errorf("%v support = %d, want %d", set, got[k], sup)
+		}
+	}
+	if res.MaxK != 2 {
+		t.Errorf("MaxK = %d", res.MaxK)
+	}
+}
+
+func TestReferenceEmpty(t *testing.T) {
+	rec := (&dataset.DB{}).Recode(1)
+	if res := Reference(rec, 1); res.Len() != 0 {
+		t.Errorf("empty DB: %d itemsets", res.Len())
+	}
+}
+
+func TestReferenceCanonicalOrder(t *testing.T) {
+	rec := recoded(t, "1 2 3\n1 2 3\n", 1)
+	res := Reference(rec, 1)
+	for i := 1; i < res.Len(); i++ {
+		if res.Counts[i-1].Items.Compare(res.Counts[i].Items) >= 0 {
+			t.Fatalf("not canonical at %d: %v then %v", i, res.Counts[i-1].Items, res.Counts[i].Items)
+		}
+	}
+}
+
+func TestDiffReportsAllKindsOfMismatch(t *testing.T) {
+	rec := recoded(t, "1 2\n1 2\n", 1)
+	a := Reference(rec, 1)
+	// Identical results: empty diff.
+	if d := Diff(a, a); d != "" {
+		t.Errorf("self diff = %q", d)
+	}
+	// Support mismatch.
+	b := &core.Result{Rec: rec, Counts: append([]core.ItemsetCount(nil), a.Counts...)}
+	b.Counts[0] = core.ItemsetCount{Items: b.Counts[0].Items, Support: 99}
+	if d := Diff(a, b); !strings.Contains(d, "support mismatch") {
+		t.Errorf("diff = %q", d)
+	}
+	// Missing on one side.
+	c := &core.Result{Rec: rec, Counts: a.Counts[:1]}
+	if d := Diff(a, c); !strings.Contains(d, "only in A") {
+		t.Errorf("diff = %q", d)
+	}
+	if d := Diff(c, a); !strings.Contains(d, "only in B") {
+		t.Errorf("diff = %q", d)
+	}
+}
+
+func TestDiffTruncatesLongReports(t *testing.T) {
+	rec := recoded(t, "1 2 3 4 5 6 7 8\n1 2 3 4 5 6 7 8\n", 1)
+	full := Reference(rec, 1) // 255 itemsets
+	empty := &core.Result{Rec: rec}
+	d := Diff(full, empty)
+	if !strings.Contains(d, "more differences") {
+		t.Errorf("long diff not truncated:\n%s", d)
+	}
+	if strings.Count(d, "\n") > 10 {
+		t.Errorf("diff too long: %d lines", strings.Count(d, "\n"))
+	}
+}

@@ -1,0 +1,94 @@
+package vertical
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/tidset"
+)
+
+// Hybrid is a fourth representation beyond the paper's three: Zaki &
+// Gouda's actual dEclat recommendation. Level-1 nodes are tidsets (their
+// diffsets — complements — are large); each Combine then stores
+// whichever of the child's tidset or diffset is smaller, switching
+// representation on a per-node basis as the search deepens. On dense
+// data this keeps the early levels cheap and the deep levels tiny, and
+// is benchmarked as extension ablation A7.
+const Hybrid Kind = 3
+
+// HybridNode stores either t(X) or d(X) (relative to the parent PX it
+// was combined under), whichever was smaller at construction.
+type HybridNode struct {
+	set    tidset.Set
+	isDiff bool
+	sup    int
+}
+
+// IsDiffset reports which form the node stores (exposed for tests and
+// the representation-tour example).
+func (n *HybridNode) IsDiffset() bool { return n.isDiff }
+
+func (n *HybridNode) Support() int { return n.sup }
+func (n *HybridNode) Bytes() int   { return 4 * len(n.set) }
+
+type hybridRep struct{}
+
+func (hybridRep) Kind() Kind { return Hybrid }
+
+// Roots builds level-1 nodes as tidsets: at the root, diffsets are
+// complements and almost always larger.
+func (hybridRep) Roots(rec *dataset.Recoded) []Node {
+	sets := rec.TidsetOf()
+	nodes := make([]Node, len(sets))
+	for i, s := range sets {
+		nodes[i] = &HybridNode{set: s, sup: len(s)}
+	}
+	return nodes
+}
+
+// Combine merges PX and PY (sharing prefix P, PX's last item first)
+// using whichever identities their stored forms allow:
+//
+//	t,t: t(PXY) = t(PX) ∩ t(PY)
+//	t,d: t(PXY) = t(PX) \ d(PY)      (since t(PY) = t(P) \ d(PY), t(PX) ⊆ t(P))
+//	d,t: t(PXY) = t(PY) \ d(PX)
+//	d,d: d(PXY) = d(PY) \ d(PX), support = support(PX) − |d(PXY)|
+//
+// When the child's tidset is materialized, the smaller of it and its
+// diffset relative to PX (d = t(PX) \ t(PXY), available only in the t,t
+// case) is kept.
+func (hybridRep) Combine(px, py Node) Node {
+	a, b := px.(*HybridNode), py.(*HybridNode)
+	switch {
+	case !a.isDiff && !b.isDiff:
+		t := a.set.Intersect(b.set)
+		// Diffset relative to PX: what PX has that the child lost.
+		if d := len(a.set) - len(t); d < len(t) {
+			return &HybridNode{set: a.set.Diff(t), isDiff: true, sup: len(t)}
+		}
+		return &HybridNode{set: t, sup: len(t)}
+	case !a.isDiff && b.isDiff:
+		t := a.set.Diff(b.set)
+		return &HybridNode{set: t, sup: len(t)}
+	case a.isDiff && !b.isDiff:
+		t := b.set.Diff(a.set)
+		return &HybridNode{set: t, sup: len(t)}
+	default:
+		d := b.set.Diff(a.set)
+		return &HybridNode{set: d, isDiff: true, sup: a.sup - len(d)}
+	}
+}
+
+// CombineSupport computes the candidate's support without materializing
+// its payload, using the count-only forms of the four hybrid cases.
+func (hybridRep) CombineSupport(px, py Node) int {
+	a, b := px.(*HybridNode), py.(*HybridNode)
+	switch {
+	case !a.isDiff && !b.isDiff:
+		return a.set.IntersectSize(b.set)
+	case !a.isDiff && b.isDiff:
+		return a.set.DiffSize(b.set)
+	case a.isDiff && !b.isDiff:
+		return b.set.DiffSize(a.set)
+	default:
+		return a.sup - b.set.DiffSize(a.set)
+	}
+}

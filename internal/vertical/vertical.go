@@ -1,0 +1,238 @@
+// Package vertical implements the three vertical transaction
+// representations of §II-B of the paper — tidset, bitvector, and diffset —
+// behind a single Representation interface that both miners (Apriori and
+// Eclat) program against.
+//
+// A Node is the per-itemset payload: whatever the representation needs to
+// compute the support of children. The only structural operation the
+// miners perform is Combine(PX, PY) → PXY, where PX and PY are k-itemsets
+// sharing a (k−1)-prefix P and PX's last item precedes PY's:
+//
+//	tidset:    t(PXY) = t(PX) ∩ t(PY),        support = |t(PXY)|
+//	bitvector: b(PXY) = b(PX) AND b(PY),      support = popcount
+//	diffset:   d(PXY) = d(PY) − d(PX),        support = support(PX) − |d(PXY)|
+//
+// The diffset rule is Equation 1 of the paper (after Zaki & Gouda); the
+// operand order in Combine therefore matters for diffsets and the miners
+// are careful to pass the smaller-last-item parent first.
+package vertical
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/dataset"
+	"repro/internal/tidset"
+)
+
+// Kind selects a vertical representation: the paper's three plus the
+// Hybrid extension (hybrid.go).
+type Kind int
+
+const (
+	Tidset Kind = iota
+	Bitvector
+	Diffset
+)
+
+// String returns the paper's name for the representation.
+func (k Kind) String() string {
+	switch k {
+	case Tidset:
+		return "tidset"
+	case Bitvector:
+		return "bitvector"
+	case Diffset:
+		return "diffset"
+	case Hybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Kinds lists the paper's three representations, in the paper's order.
+func Kinds() []Kind { return []Kind{Tidset, Bitvector, Diffset} }
+
+// AllKinds additionally includes the Hybrid extension (see hybrid.go).
+func AllKinds() []Kind { return []Kind{Tidset, Bitvector, Diffset, Hybrid} }
+
+// ParseKind maps a name ("tidset", "bitvector", "diffset") to its Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "tidset":
+		return Tidset, nil
+	case "bitvector":
+		return Bitvector, nil
+	case "diffset":
+		return Diffset, nil
+	case "hybrid":
+		return Hybrid, nil
+	}
+	return 0, fmt.Errorf("vertical: unknown representation %q", s)
+}
+
+// Node is the per-itemset payload of one representation.
+type Node interface {
+	// Support returns the number of transactions containing the itemset.
+	Support() int
+	// Bytes returns the payload's memory footprint, the quantity the
+	// perf instrumentation uses as its NUMA-traffic proxy. Reading a
+	// parent during Combine moves this many bytes.
+	Bytes() int
+}
+
+// Representation builds and combines Nodes of one Kind.
+type Representation interface {
+	Kind() Kind
+	// Roots builds the level-1 node for every frequent item of rec,
+	// indexed by dense item code.
+	Roots(rec *dataset.Recoded) []Node
+	// Combine produces the node for candidate PXY from the nodes of PX
+	// and PY, where PX's last item orders before PY's. The result's
+	// Support is the candidate's support.
+	Combine(px, py Node) Node
+}
+
+// New returns the Representation for kind.
+func New(kind Kind) Representation {
+	switch kind {
+	case Tidset:
+		return tidsetRep{}
+	case Bitvector:
+		return bitvectorRep{}
+	case Diffset:
+		return diffsetRep{}
+	case Hybrid:
+		return hybridRep{}
+	}
+	panic(fmt.Sprintf("vertical: unknown kind %d", int(kind)))
+}
+
+// --- tidset -----------------------------------------------------------
+
+// TidsetNode carries t(X) for one itemset.
+type TidsetNode struct {
+	TIDs tidset.Set
+}
+
+func (n *TidsetNode) Support() int { return len(n.TIDs) }
+func (n *TidsetNode) Bytes() int   { return 4 * len(n.TIDs) }
+
+type tidsetRep struct{}
+
+func (tidsetRep) Kind() Kind { return Tidset }
+
+func (tidsetRep) Roots(rec *dataset.Recoded) []Node {
+	sets := rec.TidsetOf()
+	nodes := make([]Node, len(sets))
+	for i, s := range sets {
+		nodes[i] = &TidsetNode{TIDs: s}
+	}
+	return nodes
+}
+
+func (tidsetRep) Combine(px, py Node) Node {
+	a, b := px.(*TidsetNode), py.(*TidsetNode)
+	return &TidsetNode{TIDs: a.TIDs.Intersect(b.TIDs)}
+}
+
+// --- bitvector --------------------------------------------------------
+
+// BitvectorNode carries the transaction bitmask and a cached popcount.
+type BitvectorNode struct {
+	Bits *bitvec.Vector
+	sup  int
+}
+
+func (n *BitvectorNode) Support() int { return n.sup }
+func (n *BitvectorNode) Bytes() int   { return 8 * n.Bits.Words() }
+
+type bitvectorRep struct{}
+
+func (bitvectorRep) Kind() Kind { return Bitvector }
+
+func (bitvectorRep) Roots(rec *dataset.Recoded) []Node {
+	n := rec.DB.NumTransactions()
+	sets := rec.TidsetOf()
+	nodes := make([]Node, len(sets))
+	for i, s := range sets {
+		nodes[i] = &BitvectorNode{Bits: bitvec.FromTIDs(n, s), sup: len(s)}
+	}
+	return nodes
+}
+
+func (bitvectorRep) Combine(px, py Node) Node {
+	a, b := px.(*BitvectorNode), py.(*BitvectorNode)
+	v := a.Bits.And(b.Bits)
+	return &BitvectorNode{Bits: v, sup: v.Count()}
+}
+
+// --- diffset ----------------------------------------------------------
+
+// DiffsetNode carries d(X) and the itemset's support, which the diffset
+// alone cannot reproduce (support(PXY) = support(PX) − |d(PXY)|).
+type DiffsetNode struct {
+	Diff tidset.Set
+	sup  int
+}
+
+// NewDiffsetNode builds a node from an explicit diffset and support.
+// Exposed for tests and for the closed-itemset extension.
+func NewDiffsetNode(d tidset.Set, support int) *DiffsetNode {
+	return &DiffsetNode{Diff: d, sup: support}
+}
+
+func (n *DiffsetNode) Support() int { return n.sup }
+func (n *DiffsetNode) Bytes() int   { return 4 * len(n.Diff) }
+
+type diffsetRep struct{}
+
+func (diffsetRep) Kind() Kind { return Diffset }
+
+// Roots seeds level-1 diffsets as the complement of each item's tidset
+// within the transaction universe (paper Figure 2(a)): d(x) = D − t(x),
+// support(x) = |D| − |d(x)|.
+func (diffsetRep) Roots(rec *dataset.Recoded) []Node {
+	n := rec.DB.NumTransactions()
+	sets := rec.TidsetOf()
+	nodes := make([]Node, len(sets))
+	for i, s := range sets {
+		nodes[i] = &DiffsetNode{Diff: s.Complement(n), sup: len(s)}
+	}
+	return nodes
+}
+
+func (diffsetRep) Combine(px, py Node) Node {
+	a, b := px.(*DiffsetNode), py.(*DiffsetNode)
+	d := b.Diff.Diff(a.Diff) // d(PXY) = d(PY) − d(PX)
+	return &DiffsetNode{Diff: d, sup: a.sup - len(d)}
+}
+
+// SupportOnly is implemented by representations that can compute a
+// candidate's support without materializing its payload — the kernel of
+// Apriori's lazy-materialization optimization (core.Options
+// LazyMaterialize, ablation A10): infrequent candidates are pruned
+// before their sets are ever allocated.
+type SupportOnly interface {
+	// CombineSupport returns Combine(px, py).Support() without
+	// allocating the child payload.
+	CombineSupport(px, py Node) int
+}
+
+func (tidsetRep) CombineSupport(px, py Node) int {
+	return px.(*TidsetNode).TIDs.IntersectSize(py.(*TidsetNode).TIDs)
+}
+
+func (bitvectorRep) CombineSupport(px, py Node) int {
+	return px.(*BitvectorNode).Bits.AndCount(py.(*BitvectorNode).Bits)
+}
+
+func (diffsetRep) CombineSupport(px, py Node) int {
+	a, b := px.(*DiffsetNode), py.(*DiffsetNode)
+	return a.sup - b.Diff.DiffSize(a.Diff)
+}
+
+// CombineCost returns the number of bytes Combine reads from its parents:
+// the quantity charged as communication when a parent lives on a remote
+// NUMA node. It is simply the sum of the parents' footprints.
+func CombineCost(px, py Node) int { return px.Bytes() + py.Bytes() }
