@@ -280,7 +280,9 @@ func BenchmarkBaselines(b *testing.B) {
 	rec := db.Recode(db.AbsoluteSupport(d.DefaultSupport))
 	b.Run("vertical-diffset", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			apriori.Mine(rec, rec.MinSup, core.DefaultOptions(Diffset, 1))
+			if _, err := apriori.Mine(rec, rec.MinSup, core.DefaultOptions(Diffset, 1)); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 	b.Run("horizontal-scan", func(b *testing.B) {

@@ -18,6 +18,15 @@ import (
 	"repro/internal/vertical"
 )
 
+// mustMine unwraps a miner's (result, error) pair; calibration runs set
+// no budget, so errors are bugs.
+func mustMine(res *core.Result, err error) *core.Result {
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
 func main() {
 	only := flag.String("only", "", "restrict to one dataset")
 	flag.Parse()
@@ -40,7 +49,7 @@ func main() {
 				col := &perf.Collector{}
 				opt := core.DefaultOptions(rep, 1)
 				opt.Collector = col
-				res := apriori.Mine(rec, rec.MinSup, opt)
+				res := mustMine(apriori.Mine(rec, rec.MinSup, opt))
 				var maxPool int64
 				for _, p := range col.Phases {
 					if p.UniqueParent > maxPool {
@@ -57,7 +66,7 @@ func main() {
 					opt := core.DefaultOptions(rep, 1)
 					opt.Collector = col
 					opt.EclatDepth = depth
-					eclat.Mine(rec, rec.MinSup, opt)
+					mustMine(eclat.Mine(rec, rec.MinSup, opt))
 					_, sp := machine.Speedup(col, threads, cfg)
 					fmt.Printf("  eclat/%-7v d=%d speedup16=%6.1f speedup256=%6.1f\n", rep, depth, sp[0], sp[1])
 				}

@@ -7,12 +7,21 @@
 //	fimmine -file retail.dat -support 0.01 -algo apriori -rep tidset -workers 8
 //	fimmine -dataset mushroom -support 0.4 -rules 0.8
 //	fimmine -dataset chess -support 0.5 -closed
+//	fimmine -dataset pumsb -support 0.8 -timeout 10s -max-memory-mb 256 -degrade
+//
+// The run is cancellable: SIGINT/SIGTERM (or an expired -timeout, or a
+// breached -max-memory-mb/-max-itemsets budget) stops mining at the next
+// chunk boundary and the command prints whatever complete levels were
+// mined, a summary marked INCOMPLETE, and the stop reason, exiting 1.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro"
@@ -33,6 +42,10 @@ func main() {
 	closedOnly := flag.Bool("closed", false, "print only closed itemsets")
 	maximalOnly := flag.Bool("maximal", false, "print only maximal itemsets")
 	quiet := flag.Bool("quiet", false, "print summary only, not the itemsets")
+	maxMemMB := flag.Float64("max-memory-mb", 0, "stop (or degrade) when mining payloads exceed this many MB (0 = unlimited)")
+	maxItemsets := flag.Int64("max-itemsets", 0, "stop after emitting this many itemsets (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "stop after this long (0 = unlimited)")
+	degrade := flag.Bool("degrade", false, "on memory-budget breach, degrade tidset/bitvector runs to diffsets instead of stopping")
 	flag.Parse()
 
 	db, err := loadDB(*file, *dsName, *scale)
@@ -51,10 +64,19 @@ func main() {
 	opt.OrderByFrequency = *freqOrder
 	opt.EclatDepth = *depth
 	opt.LazyMaterialize = *lazy
+	opt.MaxMemoryBytes = int64(*maxMemMB * (1 << 20))
+	opt.MaxItemsets = *maxItemsets
+	opt.MaxDuration = *timeout
+	opt.DegradeToDiffset = *degrade
+
+	// SIGINT/SIGTERM cancel the mining context; the miners drain at the
+	// next chunk boundary and return the partial result.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	start := time.Now()
-	res, err := fim.Mine(db, *support, opt)
-	if err != nil {
+	res, err := fim.MineContext(ctx, db, *support, opt)
+	if res == nil {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
@@ -71,14 +93,28 @@ func main() {
 			fmt.Printf("%v #%d\n", c.Items, c.Support)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "%s: %d transactions, support %.3g -> %d itemsets (maxK=%d) in %v [%v/%v x%d]\n",
+	status := ""
+	if res.Incomplete {
+		status = " INCOMPLETE"
+	}
+	if res.Degraded {
+		status += " degraded-to-diffset"
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d transactions, support %.3g -> %d itemsets (maxK=%d) in %v [%v/%v x%d]%s\n",
 		db.Name, db.NumTransactions(), *support, len(counts), res.MaxK, elapsed,
-		opt.Algorithm, opt.Representation, opt.Workers)
+		opt.Algorithm, opt.Representation, opt.Workers, status)
+	if res.Incomplete {
+		fmt.Fprintf(os.Stderr, "fimmine: stopped early: %v; the %d itemsets above are complete levels with exact supports\n",
+			res.StopCause, len(counts))
+	}
 
 	if *rules > 0 {
 		for _, r := range fim.Rules(res, *rules) {
 			fmt.Println(fim.DecodeRule(res, r))
 		}
+	}
+	if res.Incomplete {
+		os.Exit(1)
 	}
 }
 

@@ -27,9 +27,11 @@
 package fim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/apriori"
 	"repro/internal/assoc"
@@ -41,6 +43,7 @@ import (
 	"repro/internal/fpgrowth"
 	"repro/internal/machine"
 	"repro/internal/perf"
+	"repro/internal/runctl"
 	"repro/internal/sched"
 	"repro/internal/vertical"
 )
@@ -124,11 +127,62 @@ type Options struct {
 	LazyMaterialize bool
 	// Trace, when non-nil, records the run for NUMA replay via Simulate.
 	Trace *Trace
+
+	// Run control. Zero values mean "unlimited"; see the package
+	// documentation's "Run control" section and MineContext.
+	//
+	// MaxMemoryBytes caps the live payload bytes (tidset/bitvector/
+	// diffset sets) of the run, accounted per level/class from the
+	// actual set sizes. On breach the run stops with a *BudgetError —
+	// or, when DegradeToDiffset is set on an Apriori/Eclat run over
+	// tidsets or bitvectors, switches the live payloads to diffsets
+	// (the paper's own footprint cure, applied adaptively) and
+	// continues.
+	MaxMemoryBytes int64
+	// MaxItemsets stops the run with a *BudgetError once more than this
+	// many frequent itemsets have been emitted.
+	MaxItemsets int64
+	// MaxDuration stops the run with a *BudgetError after this much
+	// wall-clock time.
+	MaxDuration time.Duration
+	// DegradeToDiffset turns a memory-budget breach into a mid-run
+	// representation switch instead of an error, where the algorithm
+	// and representation allow it.
+	DegradeToDiffset bool
 }
 
+// BudgetError is the typed error a budget-stopped run returns; its
+// Resource field names the exhausted budget ("memory", "itemsets",
+// "duration"). The partial Result returned alongside it is still
+// well-formed: Incomplete is set and every emitted support is exact.
+type BudgetError = runctl.BudgetError
+
+// WorkerPanicError reports a panic inside a mining worker, contained by
+// the scheduler: the team drains cleanly and the panic surfaces as this
+// error (with the worker's stack attached) instead of crashing the
+// process.
+type WorkerPanicError = runctl.WorkerPanicError
+
 // Mine finds all itemsets with relative support >= minSupport (a
-// fraction of the transaction count, e.g. 0.02 for 2%) in db.
+// fraction of the transaction count, e.g. 0.02 for 2%) in db. It is
+// MineContext with a background context.
 func Mine(db *DB, minSupport float64, opt Options) (*Result, error) {
+	return MineContext(context.Background(), db, minSupport, opt)
+}
+
+// MineContext is Mine under a context: the run checks ctx at every
+// scheduler chunk boundary and at each level/class of the search, so
+// cancelling ctx (or its deadline expiring) makes the miner drain its
+// worker team promptly and return ctx's error together with a partial
+// Result — Result.Incomplete is set and every itemset it holds has its
+// exact support.
+//
+// The same machinery enforces Options' budgets (MaxMemoryBytes,
+// MaxItemsets, MaxDuration), which stop the run with a *BudgetError or,
+// for the memory budget under DegradeToDiffset, switch the run to
+// diffsets mid-flight. A worker panic is contained and returned as a
+// *WorkerPanicError instead of crashing the process.
+func MineContext(ctx context.Context, db *DB, minSupport float64, opt Options) (*Result, error) {
 	if db == nil {
 		return nil, fmt.Errorf("fim: nil database")
 	}
@@ -136,11 +190,17 @@ func Mine(db *DB, minSupport float64, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("fim: relative support %v outside [0, 1]", minSupport)
 	}
 	abs := db.AbsoluteSupport(minSupport)
-	return MineAbsolute(db, abs, opt)
+	return MineAbsoluteContext(ctx, db, abs, opt)
 }
 
 // MineAbsolute is Mine with an absolute transaction-count threshold.
 func MineAbsolute(db *DB, minSupport int, opt Options) (*Result, error) {
+	return MineAbsoluteContext(context.Background(), db, minSupport, opt)
+}
+
+// MineAbsoluteContext is MineContext with an absolute transaction-count
+// threshold.
+func MineAbsoluteContext(ctx context.Context, db *DB, minSupport int, opt Options) (*Result, error) {
 	if db == nil {
 		return nil, fmt.Errorf("fim: nil database")
 	}
@@ -152,10 +212,18 @@ func MineAbsolute(db *DB, minSupport int, opt Options) (*Result, error) {
 		order = dataset.ByFrequency
 	}
 	rec := db.RecodeOrdered(minSupport, order)
+	rc := runctl.New(ctx, runctl.Budget{
+		MaxMemoryBytes:   opt.MaxMemoryBytes,
+		MaxItemsets:      opt.MaxItemsets,
+		MaxDuration:      opt.MaxDuration,
+		DegradeToDiffset: opt.DegradeToDiffset,
+	})
+	defer rc.Close()
 	copt := core.Options{
 		Representation:  opt.Representation,
 		Workers:         opt.Workers,
 		Collector:       opt.Trace,
+		Control:         rc,
 		Prune:           !opt.DisablePruning,
 		EclatDepth:      opt.EclatDepth,
 		LazyMaterialize: opt.LazyMaterialize,
@@ -166,11 +234,11 @@ func MineAbsolute(db *DB, minSupport int, opt Options) (*Result, error) {
 	}
 	switch opt.Algorithm {
 	case core.Apriori:
-		return apriori.Mine(rec, minSupport, copt), nil
+		return apriori.Mine(rec, minSupport, copt)
 	case core.Eclat:
-		return eclat.Mine(rec, minSupport, copt), nil
+		return eclat.Mine(rec, minSupport, copt)
 	case core.FPGrowth:
-		return fpgrowth.Mine(rec, minSupport, copt), nil
+		return fpgrowth.Mine(rec, minSupport, copt)
 	}
 	return nil, fmt.Errorf("fim: unknown algorithm %v", opt.Algorithm)
 }

@@ -47,16 +47,16 @@ func TestGrandCrossCheck(t *testing.T) {
 	for _, rep := range vertical.AllKinds() {
 		for _, workers := range []int{1, 4} {
 			check("apriori/"+rep.String(),
-				apriori.Mine(rec, rec.MinSup, core.DefaultOptions(rep, workers)))
+				must(apriori.Mine(rec, rec.MinSup, core.DefaultOptions(rep, workers))))
 			for _, depth := range []int{1, 2, 3, 4} {
 				opt := core.DefaultOptions(rep, workers)
 				opt.EclatDepth = depth
-				check("eclat/"+rep.String(), eclat.Mine(rec, rec.MinSup, opt))
+				check("eclat/"+rep.String(), must(eclat.Mine(rec, rec.MinSup, opt)))
 			}
 		}
 	}
-	check("fpgrowth/serial", fpgrowth.Mine(rec, rec.MinSup, core.DefaultOptions(vertical.Tidset, 1)))
-	check("fpgrowth/parallel", fpgrowth.Mine(rec, rec.MinSup, core.DefaultOptions(vertical.Tidset, 4)))
+	check("fpgrowth/serial", must(fpgrowth.Mine(rec, rec.MinSup, core.DefaultOptions(vertical.Tidset, 1))))
+	check("fpgrowth/parallel", must(fpgrowth.Mine(rec, rec.MinSup, core.DefaultOptions(vertical.Tidset, 4))))
 	check("horizontal/partial", horizontal.Mine(rec, rec.MinSup, 3, horizontal.Partial, nil))
 	check("horizontal/atomic", horizontal.Mine(rec, rec.MinSup, 3, horizontal.Atomic, nil))
 	check("ptrie", ptrie.Mine(rec, rec.MinSup, 3))
@@ -73,7 +73,7 @@ func TestCrossCheckFrequencyOrder(t *testing.T) {
 	refCode := verify.Reference(byCode, minSup)
 	refFreq := verify.Reference(byFreq, minSup)
 	for _, rep := range vertical.AllKinds() {
-		res := eclat.Mine(byFreq, minSup, core.DefaultOptions(rep, 2))
+		res := must(eclat.Mine(byFreq, minSup, core.DefaultOptions(rep, 2)))
 		if !res.Equal(refFreq) {
 			t.Errorf("eclat/%v under frequency order:\n%s", rep, verify.Diff(res, refFreq))
 		}
@@ -90,4 +90,13 @@ func TestCrossCheckFrequencyOrder(t *testing.T) {
 				i, a[i].Items, a[i].Support, b[i].Items, b[i].Support)
 		}
 	}
+}
+
+// must unwraps a miner's (result, error) pair; the cross-checks run
+// without budgets, so an error fails the run immediately.
+func must(res *core.Result, err error) *core.Result {
+	if err != nil {
+		panic(err)
+	}
+	return res
 }

@@ -41,7 +41,17 @@ var DefaultSchedule = sched.Schedule{Policy: sched.Static}
 
 // Mine runs Apriori over the recoded database with the given absolute
 // minimum support.
-func Mine(rec *dataset.Recoded, minSup int, opt core.Options) *core.Result {
+//
+// When opt.Control is set, the run is cancellable and budgeted: the
+// team's counting loops drain at chunk boundaries, the live payload
+// footprint of each generation is charged against the memory budget, and
+// a breach either stops the run (*runctl.BudgetError) or — under
+// DegradeToDiffset on a tidset/bitvector run — rewrites the newest level
+// as diffsets relative to each node's generation parent and continues
+// under the bounded representation. A stopped run returns the partial
+// Result (Incomplete set, supports of everything committed exact)
+// together with the stop cause.
+func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, error) {
 	if minSup < 1 {
 		minSup = 1
 	}
@@ -52,6 +62,7 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) *core.Result {
 	}
 	team := sched.NewTeam(opt.Workers)
 	col := opt.Collector
+	rc := opt.Control
 
 	res := &core.Result{
 		Algorithm:      core.Apriori,
@@ -69,7 +80,63 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) *core.Result {
 		}
 	}
 
+	// collect gathers every committed level into res; valid at any stop
+	// point because Commit only ever appends whole frequent levels.
+	collect := func(err error) (*core.Result, error) {
+		sets, sups := tr.FrequentItemsets()
+		res.Counts = make([]core.ItemsetCount, len(sets))
+		for i := range sets {
+			res.Counts[i] = core.ItemsetCount{Items: sets[i], Support: sups[i]}
+			if len(sets[i]) > res.MaxK {
+				res.MaxK = len(sets[i])
+			}
+		}
+		if err != nil {
+			res.Incomplete = true
+			res.StopCause = err
+		}
+		return res, err
+	}
+
+	// degrade rewrites the newest level as diffsets (relative to each
+	// node's generation parent, so sibling joins stay exact) and switches
+	// the representation for the remaining generations.
+	degrade := func(level []vertical.Node, parentOf func(w int) vertical.Node) bool {
+		if res.Degraded || !vertical.Degradable(rep.Kind()) {
+			return false
+		}
+		before := vertical.NodesBytes(level)
+		for w, n := range level {
+			level[w] = vertical.DegradeChild(parentOf(w), n)
+		}
+		rc.ChargeMem(vertical.NodesBytes(level) - before)
+		rep = vertical.New(vertical.Diffset)
+		res.Degraded = true
+		return true
+	}
+
+	rc.ChargeMem(MemoryFootprint(nodes))
+	if err := rc.AddItemsets(len(nodes)); err != nil {
+		return collect(err)
+	}
+	if rc.OverMemory() {
+		if rc.Budget().DegradeToDiffset && !res.Degraded && vertical.Degradable(rep.Kind()) {
+			before := MemoryFootprint(nodes)
+			for i, n := range nodes {
+				nodes[i] = vertical.DegradeRoot(n, rec.Universe)
+			}
+			rc.ChargeMem(MemoryFootprint(nodes) - before)
+			rep = vertical.New(vertical.Diffset)
+			res.Degraded = true
+		} else if err := rc.CheckMemory(); err != nil {
+			return collect(err)
+		}
+	}
+
 	for gen := 1; tr.Levels[len(tr.Levels)-1].Len() != 0; gen++ {
+		if err := rc.Err(); err != nil {
+			return collect(err)
+		}
 		cands := tr.Generate()
 		if opt.Prune {
 			tr.Prune(cands)
@@ -96,7 +163,7 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) *core.Result {
 		// materialization only the supports are computed here; payloads
 		// are allocated for the frequent survivors afterwards.
 		childNodes := make([]vertical.Node, n)
-		team.For(n, schedule, func(_, i int) {
+		err := team.ForCtx(rc, n, schedule, func(_, i int) {
 			px := nodes[cands.Px[i]]
 			py := nodes[cands.Py[i]]
 			cost := int64(vertical.CombineCost(px, py))
@@ -108,8 +175,12 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) *core.Result {
 			child := rep.Combine(px, py)
 			childNodes[i] = child
 			cands.Level.Supports[i] = child.Support()
+			rc.ChargeMem(int64(child.Bytes()))
 			phase.Add(i, cost+int64(child.Bytes()), cost, int64(child.Bytes()))
 		})
+		if err != nil {
+			return collect(err)
+		}
 
 		level, kept := tr.Commit(cands, minSup)
 		phase.AddSerial(int64(n) * 8)
@@ -129,31 +200,48 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) *core.Result {
 			if mat != nil {
 				mat.UniqueParent = MemoryFootprint(parents)
 			}
-			team.For(len(kept), schedule, func(_, w int) {
+			err := team.ForCtx(rc, len(kept), schedule, func(_, w int) {
 				px := parents[pxs[w]]
 				py := parents[pys[w]]
 				child := rep.Combine(px, py)
 				next[w] = child
 				cost := int64(vertical.CombineCost(px, py))
+				rc.ChargeMem(int64(child.Bytes()))
 				mat.Add(w, cost+int64(child.Bytes()), cost, int64(child.Bytes()))
 			})
+			if err != nil {
+				return collect(err)
+			}
 		} else {
 			for w, i := range kept {
 				next[w] = childNodes[i]
 			}
+			// Release the infrequent candidates' payloads.
+			rc.ChargeMem(vertical.NodesBytes(next) - vertical.NodesBytes(childNodes))
 		}
+		if err := rc.AddItemsets(level.Len()); err != nil {
+			return collect(err)
+		}
+
+		// Memory-budget decision point: the new level is materialized
+		// and its parents are still live — the generation's peak.
+		if rc.OverMemory() {
+			parents := nodes
+			ok := rc.Budget().DegradeToDiffset && degrade(next, func(w int) vertical.Node {
+				return parents[cands.Px[kept[w]]]
+			})
+			if !ok {
+				if err := rc.CheckMemory(); err != nil {
+					nodes = next
+					return collect(err)
+				}
+			}
+		}
+		rc.ChargeMem(-MemoryFootprint(nodes)) // retire the parent level
 		nodes = next
 	}
 
-	sets, sups := tr.FrequentItemsets()
-	res.Counts = make([]core.ItemsetCount, len(sets))
-	for i := range sets {
-		res.Counts[i] = core.ItemsetCount{Items: sets[i], Support: sups[i]}
-		if len(sets[i]) > res.MaxK {
-			res.MaxK = len(sets[i])
-		}
-	}
-	return res
+	return collect(nil)
 }
 
 // itemSupports extracts the per-item supports recorded by the recode pass.

@@ -38,7 +38,7 @@ func classicRecoded(t *testing.T, minSup int) *dataset.Recoded {
 // The classic Han & Kamber example: minSup 2 yields these frequent sets.
 func TestMineClassicExample(t *testing.T) {
 	rec := classicRecoded(t, 2)
-	res := Mine(rec, 2, core.DefaultOptions(vertical.Tidset, 1))
+	res := mine(rec, 2, core.DefaultOptions(vertical.Tidset, 1))
 	want := map[string]int{
 		"{1}": 6, "{2}": 7, "{3}": 6, "{4}": 2, "{5}": 2,
 		"{1, 2}": 4, "{1, 3}": 4, "{1, 5}": 2, "{2, 3}": 4, "{2, 4}": 2, "{2, 5}": 2,
@@ -62,7 +62,7 @@ func TestMineAllRepresentationsAgree(t *testing.T) {
 	rec := classicRecoded(t, 2)
 	ref := verify.Reference(rec, 2)
 	for _, kind := range vertical.AllKinds() {
-		res := Mine(rec, 2, core.DefaultOptions(kind, 1))
+		res := mine(rec, 2, core.DefaultOptions(kind, 1))
 		if !res.Equal(ref) {
 			t.Errorf("%v disagrees with reference:\n%s", kind, verify.Diff(res, ref))
 		}
@@ -71,14 +71,14 @@ func TestMineAllRepresentationsAgree(t *testing.T) {
 
 func TestMineParallelMatchesSerial(t *testing.T) {
 	rec := classicRecoded(t, 2)
-	serial := Mine(rec, 2, core.DefaultOptions(vertical.Diffset, 1))
+	serial := mine(rec, 2, core.DefaultOptions(vertical.Diffset, 1))
 	for _, workers := range []int{2, 3, 8, 64} {
 		for _, schedule := range []sched.Schedule{
 			{Policy: sched.Static}, {Policy: sched.Dynamic, Chunk: 1}, {Policy: sched.Guided},
 		} {
 			opt := core.DefaultOptions(vertical.Diffset, workers)
 			opt.Schedule, opt.HasSchedule = schedule, true
-			res := Mine(rec, 2, opt)
+			res := mine(rec, 2, opt)
 			if !res.Equal(serial) {
 				t.Errorf("workers=%d %v disagrees with serial:\n%s", workers, schedule, verify.Diff(res, serial))
 			}
@@ -90,7 +90,7 @@ func TestMineWithoutPruning(t *testing.T) {
 	rec := classicRecoded(t, 2)
 	opt := core.DefaultOptions(vertical.Tidset, 2)
 	opt.Prune = false
-	res := Mine(rec, 2, opt)
+	res := mine(rec, 2, opt)
 	ref := verify.Reference(rec, 2)
 	if !res.Equal(ref) {
 		t.Errorf("unpruned Apriori wrong:\n%s", verify.Diff(res, ref))
@@ -101,25 +101,25 @@ func TestMineEdgeCases(t *testing.T) {
 	// Threshold above all supports: only the recode survives (nothing).
 	db, _ := dataset.ReadFIMI("t", strings.NewReader("1 2\n1 2\n"))
 	rec := db.Recode(3)
-	res := Mine(rec, 3, core.DefaultOptions(vertical.Tidset, 2))
+	res := mine(rec, 3, core.DefaultOptions(vertical.Tidset, 2))
 	if res.Len() != 0 {
 		t.Errorf("found %d itemsets above max support", res.Len())
 	}
 	// Single transaction, minSup 1: all subsets frequent.
 	db2, _ := dataset.ReadFIMI("t", strings.NewReader("1 2 3\n"))
 	rec2 := db2.Recode(1)
-	res2 := Mine(rec2, 1, core.DefaultOptions(vertical.Diffset, 1))
+	res2 := mine(rec2, 1, core.DefaultOptions(vertical.Diffset, 1))
 	if res2.Len() != 7 { // 2^3 - 1
 		t.Errorf("single transaction: %d itemsets, want 7", res2.Len())
 	}
 	// Empty database.
 	rec3 := (&dataset.DB{}).Recode(1)
-	res3 := Mine(rec3, 1, core.DefaultOptions(vertical.Bitvector, 4))
+	res3 := mine(rec3, 1, core.DefaultOptions(vertical.Bitvector, 4))
 	if res3.Len() != 0 {
 		t.Errorf("empty DB produced %d itemsets", res3.Len())
 	}
 	// minSup below 1 clamps.
-	res4 := Mine(rec2, 0, core.DefaultOptions(vertical.Tidset, 1))
+	res4 := mine(rec2, 0, core.DefaultOptions(vertical.Tidset, 1))
 	if res4.MinSup != 1 {
 		t.Errorf("MinSup = %d", res4.MinSup)
 	}
@@ -130,7 +130,7 @@ func TestCollectorRecordsPhases(t *testing.T) {
 	col := &perf.Collector{}
 	opt := core.DefaultOptions(vertical.Tidset, 2)
 	opt.Collector = col
-	Mine(rec, 2, opt)
+	mine(rec, 2, opt)
 	if len(col.Phases) < 3 { // roots + gen2 + gen3
 		t.Fatalf("recorded %d phases", len(col.Phases))
 	}
@@ -174,8 +174,8 @@ func TestMemoryFootprintOrdering(t *testing.T) {
 	optT.Collector = colT
 	optD := core.DefaultOptions(vertical.Diffset, 1)
 	optD.Collector = colD
-	Mine(rec, rec.MinSup, optT)
-	Mine(rec, rec.MinSup, optD)
+	mine(rec, rec.MinSup, optT)
+	mine(rec, rec.MinSup, optD)
 	allocAfterRoots := func(c *perf.Collector) int64 {
 		var b int64
 		for _, p := range c.Phases[1:] {
@@ -215,7 +215,7 @@ func TestQuickAgainstReference(t *testing.T) {
 		ref := verify.Reference(rec, minSup)
 		kind := vertical.Kinds()[r.Intn(3)]
 		workers := []int{1, 4}[r.Intn(2)]
-		res := Mine(rec, minSup, core.DefaultOptions(kind, workers))
+		res := mine(rec, minSup, core.DefaultOptions(kind, workers))
 		return res.Equal(ref)
 	}
 	if err := quick.Check(law, cfg); err != nil {
@@ -226,10 +226,10 @@ func TestQuickAgainstReference(t *testing.T) {
 func TestLazyMaterializeMatchesEager(t *testing.T) {
 	rec := classicRecoded(t, 2)
 	for _, kind := range vertical.AllKinds() {
-		eager := Mine(rec, 2, core.DefaultOptions(kind, 2))
+		eager := mine(rec, 2, core.DefaultOptions(kind, 2))
 		opt := core.DefaultOptions(kind, 2)
 		opt.LazyMaterialize = true
-		lazy := Mine(rec, 2, opt)
+		lazy := mine(rec, 2, opt)
 		if !lazy.Equal(eager) {
 			t.Errorf("%v: lazy disagrees with eager:\n%s", kind, verify.Diff(lazy, eager))
 		}
@@ -261,12 +261,22 @@ func TestLazyMaterializeReducesAllocation(t *testing.T) {
 	optL := core.DefaultOptions(vertical.Tidset, 1)
 	optL.Collector = colL
 	optL.LazyMaterialize = true
-	a := Mine(rec, rec.MinSup, optE)
-	b := Mine(rec, rec.MinSup, optL)
+	a := mine(rec, rec.MinSup, optE)
+	b := mine(rec, rec.MinSup, optL)
 	if !a.Equal(b) {
 		t.Fatalf("results differ:\n%s", verify.Diff(a, b))
 	}
 	if colL.TotalAlloc() >= colE.TotalAlloc() {
 		t.Errorf("lazy alloc %d not below eager %d", colL.TotalAlloc(), colE.TotalAlloc())
 	}
+}
+
+// mine wraps Mine for the test call sites that expect an error-free
+// run: no budget or cancellation is in play, so an error is a failure.
+func mine(rec *dataset.Recoded, minSup int, opt core.Options) *core.Result {
+	res, err := Mine(rec, minSup, opt)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }

@@ -31,7 +31,7 @@ func mined(t *testing.T, text string, minSup int) *core.Result {
 		t.Fatal(err)
 	}
 	rec := db.Recode(minSup)
-	return eclat.Mine(rec, minSup, core.DefaultOptions(vertical.Tidset, 1))
+	return must(eclat.Mine(rec, minSup, core.DefaultOptions(vertical.Tidset, 1)))
 }
 
 func findRule(rules []Rule, x, y itemset.Itemset) (Rule, bool) {
@@ -158,7 +158,7 @@ func TestQuickRulesSound(t *testing.T) {
 		}
 		minSup := 2 + r.Intn(4)
 		rec := db.Recode(minSup)
-		res := eclat.Mine(rec, minSup, core.DefaultOptions(vertical.Diffset, 1))
+		res := must(eclat.Mine(rec, minSup, core.DefaultOptions(vertical.Diffset, 1)))
 		minConf := 0.3 + r.Float64()*0.6
 		count := func(s itemset.Itemset) int {
 			c := 0
@@ -210,7 +210,7 @@ func TestQuickRulesComplete(t *testing.T) {
 		}
 		minSup := 2
 		rec := db.Recode(minSup)
-		res := eclat.Mine(rec, minSup, core.DefaultOptions(vertical.Tidset, 1))
+		res := must(eclat.Mine(rec, minSup, core.DefaultOptions(vertical.Tidset, 1)))
 		minConf := 0.5
 		rules := Generate(res, minConf)
 		have := make(map[string]bool)
@@ -279,4 +279,12 @@ func TestGenerateParallelMatchesSerial(t *testing.T) {
 			}
 		}
 	}
+}
+
+// must unwraps the miner's (result, error) pair.
+func must(res *core.Result, err error) *core.Result {
+	if err != nil {
+		panic(err)
+	}
+	return res
 }

@@ -20,7 +20,7 @@ func mined(t *testing.T, text string, minSup int) *core.Result {
 		t.Fatal(err)
 	}
 	rec := db.Recode(minSup)
-	return eclat.Mine(rec, minSup, core.DefaultOptions(vertical.Tidset, 1))
+	return must(eclat.Mine(rec, minSup, core.DefaultOptions(vertical.Tidset, 1)))
 }
 
 func keys(cs []core.ItemsetCount) map[string]int {
@@ -100,7 +100,7 @@ func TestQuickDefinitions(t *testing.T) {
 		}
 		minSup := 2 + r.Intn(3)
 		rec := db.Recode(minSup)
-		res := eclat.Mine(rec, minSup, core.DefaultOptions(vertical.Diffset, 1))
+		res := must(eclat.Mine(rec, minSup, core.DefaultOptions(vertical.Diffset, 1)))
 		all := res.Counts
 		closedGot := keys(Closed(res))
 		maxGot := keys(Maximal(res))
@@ -134,4 +134,12 @@ func TestQuickDefinitions(t *testing.T) {
 	if err := quick.Check(law, cfg); err != nil {
 		t.Errorf("closed/maximal definitions: %v", err)
 	}
+}
+
+// must unwraps the miner's (result, error) pair.
+func must(res *core.Result, err error) *core.Result {
+	if err != nil {
+		panic(err)
+	}
+	return res
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/itemset"
 	"repro/internal/perf"
+	"repro/internal/runctl"
 	"repro/internal/sched"
 	"repro/internal/vertical"
 )
@@ -64,6 +65,12 @@ type Options struct {
 	// Collector, when non-nil, records the run's parallel structure for
 	// reporting and NUMA replay.
 	Collector *perf.Collector
+	// Control, when non-nil, is the run-control handle: cooperative
+	// cancellation and resource budgets, checked by the scheduler at
+	// chunk boundaries and by the miners at level/class boundaries. A
+	// stopped run returns its partial Result (Incomplete set) together
+	// with the stop cause.
+	Control *runctl.Control
 	// Prune enables Apriori's subset-based candidate pruning
 	// (on by default via DefaultOptions).
 	Prune bool
@@ -112,6 +119,20 @@ type Result struct {
 	Rec *dataset.Recoded
 	// MaxK is the size of the largest frequent itemset found.
 	MaxK int
+	// Incomplete is true when the run stopped before exhausting the
+	// search space (cancellation, deadline, budget breach, or contained
+	// worker panic). Counts then holds only the itemsets — with correct
+	// supports — committed before the stop; StopCause says why.
+	Incomplete bool
+	// StopCause is the error that ended an incomplete run (nil when the
+	// run finished). It matches the error the miner returned.
+	StopCause error
+	// Degraded is true when the run crossed its memory budget and
+	// switched the live payloads to diffsets mid-run
+	// (runctl.Budget.DegradeToDiffset) instead of stopping.
+	// Representation still names the representation the run started
+	// with.
+	Degraded bool
 }
 
 // Len returns the number of frequent itemsets (all sizes, including 1).

@@ -12,6 +12,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 
@@ -38,11 +39,17 @@ func (d *DB) NumTransactions() int { return len(d.Transactions) }
 // transactions, e.g. 0.2 for "chess@0.2") into an absolute transaction
 // count, rounding up so that rel*|D| is always sufficient. A relative
 // threshold of 0 maps to 1: an itemset must occur at least once.
+//
+// A threshold that is exactly k/|D| maps to k: the product is nudged
+// down by a relative epsilon before the ceiling so that the one-ulp
+// error of computing k/|D| in floating point cannot push the result to
+// k+1 (which would silently drop every itemset of support exactly k).
 func (d *DB) AbsoluteSupport(rel float64) int {
 	if rel <= 0 {
 		return 1
 	}
-	abs := int(rel*float64(len(d.Transactions)) + 0.999999)
+	x := rel * float64(len(d.Transactions))
+	abs := int(math.Ceil(x - x*1e-12))
 	if abs < 1 {
 		abs = 1
 	}
@@ -219,9 +226,25 @@ func (r *Recoded) TidsetOf() []tidset.Set {
 	return sets
 }
 
+// ParseError describes a malformed FIMI input: where it was found
+// (1-based line number) and the offending token. ReadFIMI returns it
+// wrapped in nothing, so errors.As(&ParseError{}) works directly.
+type ParseError struct {
+	Name  string // input name as passed to ReadFIMI
+	Line  int    // 1-based line number
+	Token string // the offending token, verbatim
+	Msg   string // what was wrong with it
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("dataset: %s line %d: %s %q", e.Name, e.Line, e.Msg, e.Token)
+}
+
 // ReadFIMI parses the FIMI repository text format: one transaction per
 // line, items as whitespace-separated non-negative integers. Blank lines
 // are skipped. Items within a transaction are sorted and deduplicated.
+// Malformed tokens — negative items included — are rejected with a
+// *ParseError carrying the 1-based line number and the token.
 func ReadFIMI(name string, r io.Reader) (*DB, error) {
 	db := &DB{Name: name}
 	sc := bufio.NewScanner(r)
@@ -244,9 +267,17 @@ func ReadFIMI(name string, r io.Reader) (*DB, error) {
 			for i < len(line) && line[i] != ' ' && line[i] != '\t' && line[i] != '\r' {
 				i++
 			}
-			v, err := strconv.ParseUint(string(line[start:i]), 10, 32)
+			tok := string(line[start:i])
+			if tok[0] == '-' {
+				return nil, &ParseError{Name: name, Line: lineNo, Token: tok, Msg: "negative item"}
+			}
+			v, err := strconv.ParseUint(tok, 10, 32)
 			if err != nil {
-				return nil, fmt.Errorf("dataset: %s line %d: bad item %q: %v", name, lineNo, line[start:i], err)
+				msg := "bad item"
+				if ne, ok := err.(*strconv.NumError); ok && ne.Err == strconv.ErrRange {
+					msg = "item out of range"
+				}
+				return nil, &ParseError{Name: name, Line: lineNo, Token: tok, Msg: msg}
 			}
 			items = append(items, itemset.Item(v))
 		}

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -69,6 +70,43 @@ func TestReadFIMIRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestReadFIMIParseErrors pins the diagnostic contract: a malformed
+// token yields a *ParseError carrying the 1-based line number, the
+// offending token verbatim, and a message naming the failure class.
+func TestReadFIMIParseErrors(t *testing.T) {
+	cases := []struct {
+		in    string
+		line  int
+		token string
+		msg   string
+	}{
+		{"1 2\n3 oops 4\n", 2, "oops", "bad item"},
+		{"-7\n", 1, "-7", "negative item"},
+		{"1\n2\n3 -0\n", 3, "-0", "negative item"},
+		{"5 99999999999999999999\n", 1, "99999999999999999999", "item out of range"},
+		{"\n\n1 2.5\n", 3, "2.5", "bad item"},
+	}
+	for _, c := range cases {
+		_, err := ReadFIMI("in", strings.NewReader(c.in))
+		if err == nil {
+			t.Errorf("ReadFIMI(%q): no error", c.in)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("ReadFIMI(%q): error %T is not a *ParseError", c.in, err)
+			continue
+		}
+		if pe.Line != c.line || pe.Token != c.token || pe.Msg != c.msg {
+			t.Errorf("ReadFIMI(%q) = line %d token %q msg %q, want line %d token %q msg %q",
+				c.in, pe.Line, pe.Token, pe.Msg, c.line, c.token, c.msg)
+		}
+		if !strings.Contains(err.Error(), c.token) {
+			t.Errorf("ReadFIMI(%q): message %q omits the offending token", c.in, err)
+		}
+	}
+}
+
 func TestWriteReadRoundTrip(t *testing.T) {
 	db := sampleDB(t)
 	var buf bytes.Buffer
@@ -126,6 +164,33 @@ func TestAbsoluteSupport(t *testing.T) {
 	for _, c := range cases {
 		if got := db.AbsoluteSupport(c.rel); got != c.want {
 			t.Errorf("AbsoluteSupport(%v) = %d, want %d", c.rel, got, c.want)
+		}
+	}
+}
+
+// TestAbsoluteSupportBoundaries pins the exact-fraction contract: a
+// relative threshold computed as k/|D| must map to exactly k for every
+// k, across awkward database sizes (25, 29, 41... are sizes where a
+// naive Ceil(rel*n) overshoots to k+1 on one-ulp float error), and a
+// threshold a hair above k/|D| must round up to k+1.
+func TestAbsoluteSupportBoundaries(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 9, 10, 25, 29, 41, 100, 1000, 2999} {
+		db := &DB{Transactions: make([]Transaction, n)}
+		for k := 1; k <= n; k++ {
+			rel := float64(k) / float64(n)
+			if got := db.AbsoluteSupport(rel); got != k {
+				t.Errorf("n=%d: AbsoluteSupport(%d/%d) = %d, want %d", n, k, n, got, k)
+			}
+		}
+		// Strictly-above-k thresholds still round up.
+		for _, k := range []int{1, n / 2, n - 1} {
+			if k < 1 || k >= n {
+				continue
+			}
+			rel := (float64(k) + 0.5) / float64(n)
+			if got := db.AbsoluteSupport(rel); got != k+1 {
+				t.Errorf("n=%d: AbsoluteSupport((%d+0.5)/%d) = %d, want %d", n, k, n, got, k+1)
+			}
 		}
 	}
 }

@@ -92,7 +92,7 @@ func TestDefaultSupportsAreMineable(t *testing.T) {
 	for _, d := range All() {
 		db := d.Build(0.02)
 		rec := db.Recode(db.AbsoluteSupport(d.DefaultSupport))
-		res := eclat.Mine(rec, rec.MinSup, core.DefaultOptions(vertical.Diffset, 2))
+		res := must(eclat.Mine(rec, rec.MinSup, core.DefaultOptions(vertical.Diffset, 2)))
 		if d.Dense && res.Len() == 0 {
 			t.Errorf("%s@%v: no frequent itemsets at test scale", d.Name, d.DefaultSupport)
 		}
@@ -113,7 +113,7 @@ func TestMinersAgreeOnRealisticData(t *testing.T) {
 	}
 	ref := verify.Reference(rec, rec.MinSup)
 	for _, kind := range vertical.Kinds() {
-		res := eclat.Mine(rec, rec.MinSup, core.DefaultOptions(kind, 3))
+		res := must(eclat.Mine(rec, rec.MinSup, core.DefaultOptions(kind, 3)))
 		if !res.Equal(ref) {
 			t.Errorf("eclat/%v disagrees on chess:\n%s", kind, verify.Diff(res, ref))
 		}
@@ -132,4 +132,12 @@ func TestPumsbStarDropsHeavyItems(t *testing.T) {
 	if star.ComputeStats().AvgLength >= raw.ComputeStats().AvgLength {
 		t.Error("pumsb_star not shorter than pumsb")
 	}
+}
+
+// must unwraps a miner's (result, error) pair.
+func must(res *core.Result, err error) *core.Result {
+	if err != nil {
+		panic(err)
+	}
+	return res
 }

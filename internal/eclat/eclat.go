@@ -34,6 +34,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/itemset"
 	"repro/internal/perf"
+	"repro/internal/runctl"
 	"repro/internal/sched"
 	"repro/internal/vertical"
 )
@@ -58,7 +59,17 @@ type atom struct {
 
 // Mine runs Eclat over the recoded database with the given absolute
 // minimum support.
-func Mine(rec *dataset.Recoded, minSup int, opt core.Options) *core.Result {
+//
+// When opt.Control is set, the run is cancellable and budgeted: every
+// parallel stage drains at chunk boundaries, the recursion checks the
+// stop flag at each class descent, and live payloads are charged
+// against the memory budget per materialized level (flattening stages)
+// and per class (recursion). On a breach, a tidset/bitvector run with
+// DegradeToDiffset set rewrites the newest flattened level as diffsets
+// relative to each atom's parent and continues; otherwise the run stops
+// with a *runctl.BudgetError. A stopped run returns the partial Result
+// (Incomplete set, all emitted supports exact) with the stop cause.
+func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, error) {
 	if minSup < 1 {
 		minSup = 1
 	}
@@ -69,6 +80,7 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) *core.Result {
 	}
 	team := sched.NewTeam(opt.Workers)
 	col := opt.Collector
+	rc := opt.Control
 
 	res := &core.Result{
 		Algorithm:      core.Eclat,
@@ -89,8 +101,32 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) *core.Result {
 	if n > 0 {
 		res.MaxK = 1
 	}
+	finish := func(err error) (*core.Result, error) {
+		if err != nil {
+			res.Incomplete = true
+			res.StopCause = err
+		}
+		return res, err
+	}
 	if n < 2 {
-		return res
+		return finish(rc.AddItemsets(n))
+	}
+
+	rc.ChargeMem(vertical.NodesBytes(roots))
+	if err := rc.AddItemsets(n); err != nil {
+		return finish(err)
+	}
+	if rc.OverMemory() && rc.Budget().DegradeToDiffset && vertical.Degradable(rep.Kind()) {
+		before := vertical.NodesBytes(roots)
+		for i, r := range roots {
+			roots[i] = vertical.DegradeRoot(r, rec.Universe)
+		}
+		rc.ChargeMem(vertical.NodesBytes(roots) - before)
+		rep = vertical.New(vertical.Diffset)
+		res.Degraded = true
+	}
+	if err := rc.Err(); err != nil {
+		return finish(err)
 	}
 
 	var rootBytes int64
@@ -108,10 +144,13 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) *core.Result {
 	if depth == 0 {
 		depth = DefaultDepth
 	}
+	var err error
 	if depth == 1 {
-		mineDepth1(rep, roots, rootBytes, minSup, team, schedule, col, private)
+		err = mineDepth1(rep, roots, rootBytes, minSup, team, schedule, col, rc, private)
 	} else {
-		mineFlattened(rep, roots, rootBytes, minSup, depth, team, schedule, col, private)
+		m := &flattenedMiner{rep: rep, minSup: minSup, depth: depth, team: team,
+			schedule: schedule, col: col, rc: rc, res: res, private: private}
+		err = m.run(roots, rootBytes)
 	}
 
 	for _, p := range private {
@@ -122,39 +161,41 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) *core.Result {
 			}
 		}
 	}
-	return res
+	return finish(err)
 }
 
 // mineDepth1 runs the paper-literal decomposition: one task per
 // first-level class.
 func mineDepth1(rep vertical.Representation, roots []vertical.Node, rootBytes int64,
 	minSup int, team *sched.Team, schedule sched.Schedule, col *perf.Collector,
-	private [][]core.ItemsetCount) {
+	rc *runctl.Control, private [][]core.ItemsetCount) error {
 
 	n := len(roots)
 	phase := col.NewPhase("eclat/classes", schedule, true, n)
 	if phase != nil {
 		phase.UniqueParent = rootBytes
 	}
-	team.For(n, schedule, func(w, i int) {
-		m := &minerState{rep: rep, minSup: minSup, phase: phase, task: i}
+	return team.ForCtx(rc, n, schedule, func(w, i int) {
+		m := &minerState{rep: rep, minSup: minSup, phase: phase, task: i, rc: rc}
 		// The first-level combines read globally shared root data; the
 		// recursion below reads only worker-local payloads.
 		prefix := itemset.New(itemset.Item(i))
 		var class []atom
 		for j := i + 1; j < n; j++ {
+			if m.rc.Stopped() {
+				break
+			}
 			child := rep.Combine(roots[i], roots[j])
 			cost := int64(vertical.CombineCost(roots[i], roots[j]))
 			m.add(cost+int64(child.Bytes()), cost, int64(child.Bytes()))
 			if child.Support() >= minSup {
-				m.out = append(m.out, core.ItemsetCount{
-					Items:   prefix.Extend(itemset.Item(j)),
-					Support: child.Support(),
-				})
+				m.emit(prefix.Extend(itemset.Item(j)), child.Support())
+				m.rc.ChargeMem(int64(child.Bytes()))
 				class = append(class, atom{item: itemset.Item(j), node: child})
 			}
 		}
 		m.recurse(prefix, class)
+		m.releaseAtoms(class)
 		private[w] = append(private[w], m.out...)
 	})
 }
@@ -202,16 +243,61 @@ func maxClassBytes(classes []eqClass) int64 {
 	return mx
 }
 
-// mineFlattened expands the search breadth-first (class-local, parallel)
-// down to itemsets of size `depth`, then runs one depth-first recursion
-// task per size-`depth` subtree. Depth 2 parallelizes over frequent
-// 2-itemset subtrees; each extra level multiplies the task count and
-// divides the largest task, at the cost of materializing one more level
-// of shared intermediate payloads.
-func mineFlattened(rep vertical.Representation, roots []vertical.Node, rootBytes int64,
-	minSup, depth int, team *sched.Team, schedule sched.Schedule, col *perf.Collector,
-	private [][]core.ItemsetCount) {
+// flattenedMiner carries the state of one flattened Eclat run: the
+// (possibly degrading) representation, run control, and output sinks.
+type flattenedMiner struct {
+	rep      vertical.Representation
+	minSup   int
+	depth    int
+	team     *sched.Team
+	schedule sched.Schedule
+	col      *perf.Collector
+	rc       *runctl.Control
+	res      *core.Result
+	private  [][]core.ItemsetCount
+}
 
+// degradeClasses rewrites every atom of the freshly built classes as a
+// diffset relative to its parent node (parentOf indexes the task that
+// produced the class) and switches the representation for the remaining
+// stages — the memory-budget cure, applied at a level boundary where
+// every class is homogeneous.
+func (f *flattenedMiner) degradeClasses(classes []eqClass, parentOf func(c int) vertical.Node) {
+	var before, after int64
+	for ci := range classes {
+		parent := parentOf(ci)
+		for ai, a := range classes[ci].atoms {
+			before += int64(a.node.Bytes())
+			d := vertical.DegradeChild(parent, a.node)
+			classes[ci].atoms[ai].node = d
+			after += int64(d.Bytes())
+		}
+	}
+	f.rc.ChargeMem(after - before)
+	f.rep = vertical.New(vertical.Diffset)
+	f.res.Degraded = true
+}
+
+// maybeDegrade applies the memory-budget policy at a level boundary:
+// degrade when allowed, otherwise stop the run on a breach.
+func (f *flattenedMiner) maybeDegrade(classes []eqClass, parentOf func(c int) vertical.Node) error {
+	if !f.rc.OverMemory() {
+		return nil
+	}
+	if f.rc.Budget().DegradeToDiffset && !f.res.Degraded && vertical.Degradable(f.rep.Kind()) {
+		f.degradeClasses(classes, parentOf)
+		return nil
+	}
+	return f.rc.CheckMemory()
+}
+
+// run expands the search breadth-first (class-local, parallel) down to
+// itemsets of size `depth`, then runs one depth-first recursion task per
+// size-`depth` subtree. Depth 2 parallelizes over frequent 2-itemset
+// subtrees; each extra level multiplies the task count and divides the
+// largest task, at the cost of materializing one more level of shared
+// intermediate payloads.
+func (f *flattenedMiner) run(roots []vertical.Node, rootBytes int64) error {
 	n := len(roots)
 	// Stage A: every pair combine is one (perfectly balanced) task.
 	nPairs := n * (n - 1) / 2
@@ -224,24 +310,38 @@ func mineFlattened(rep vertical.Representation, roots []vertical.Node, rootBytes
 			p++
 		}
 	}
-	phaseA := col.NewPhase("eclat/pairs", schedule, true, nPairs)
+	phaseA := f.col.NewPhase("eclat/pairs", f.schedule, true, nPairs)
 	if phaseA != nil {
 		phaseA.UniqueParent = rootBytes
 	}
+	rep := f.rep
 	pairNodes := make([]vertical.Node, nPairs)
-	team.For(nPairs, schedule, func(w, t int) {
+	err := f.team.ForCtx(f.rc, nPairs, f.schedule, func(w, t int) {
 		i, j := pi[t], pj[t]
 		child := rep.Combine(roots[i], roots[j])
 		cost := int64(vertical.CombineCost(roots[i], roots[j]))
 		phaseA.Add(t, cost+int64(child.Bytes()), cost, int64(child.Bytes()))
-		if child.Support() >= minSup {
+		if child.Support() >= f.minSup {
 			pairNodes[t] = child
-			private[w] = append(private[w], core.ItemsetCount{
+			f.rc.ChargeMem(int64(child.Bytes()))
+			f.private[w] = append(f.private[w], core.ItemsetCount{
 				Items:   itemset.New(itemset.Item(i), itemset.Item(j)),
 				Support: child.Support(),
 			})
 		}
 	})
+	if err != nil {
+		return err
+	}
+	var nFreqPairs int
+	for _, nd := range pairNodes {
+		if nd != nil {
+			nFreqPairs++
+		}
+	}
+	if err := f.rc.AddItemsets(nFreqPairs); err != nil {
+		return err
+	}
 
 	// Group the frequent pairs into classes, prefix {i}, atoms ascending.
 	byPrefix := make([][]atom, n)
@@ -251,65 +351,99 @@ func mineFlattened(rep vertical.Representation, roots []vertical.Node, rootBytes
 		}
 	}
 	var classes []eqClass
+	classParent := make([]vertical.Node, 0, n) // pair classes: parent is the prefix root
 	for i := 0; i < n; i++ {
 		if len(byPrefix[i]) > 0 {
 			classes = append(classes, eqClass{prefix: itemset.New(itemset.Item(i)), atoms: byPrefix[i]})
+			classParent = append(classParent, roots[i])
 		}
 	}
+	if err := f.maybeDegrade(classes, func(c int) vertical.Node { return classParent[c] }); err != nil {
+		return err
+	}
+	f.rc.ChargeMem(-rootBytes) // the roots retire once the pair level is live
 
 	// Intermediate expansions: materialize one more level per step,
 	// until the class members reach the subtree-root size.
-	for memberSize := 2; memberSize < depth; memberSize++ {
-		classes = expandLevel(rep, classes, memberSize+1, minSup, team, schedule, col, private)
+	for memberSize := 2; memberSize < f.depth; memberSize++ {
+		classes, err = f.expandLevel(classes, memberSize+1)
+		if err != nil {
+			return err
+		}
 	}
 
 	// Final stage: one depth-first recursion task per subtree.
 	tasks := expansions(classes)
-	phase := col.NewPhase("eclat/subtrees", schedule, true, len(tasks))
+	phase := f.col.NewPhase("eclat/subtrees", f.schedule, true, len(tasks))
 	if phase != nil {
 		phase.UniqueParent = maxClassBytes(classes)
 	}
-	team.For(len(tasks), schedule, func(w, t int) {
+	rep = f.rep
+	err = f.team.ForCtx(f.rc, len(tasks), f.schedule, func(w, t int) {
 		e := tasks[t]
 		class := classes[e.class]
-		m := &minerState{rep: rep, minSup: minSup, phase: phase, task: t}
+		m := &minerState{rep: rep, minSup: f.minSup, phase: phase, task: t, rc: f.rc}
 		sub := m.expandOne(class, int(e.pos))
 		m.recurse(class.prefix.Extend(class.atoms[e.pos].item), sub)
-		private[w] = append(private[w], m.out...)
+		m.releaseAtoms(sub)
+		f.private[w] = append(f.private[w], m.out...)
 	})
+	f.rc.ChargeMem(-levelBytes(classes))
+	return err
+}
+
+// levelBytes sums the payload footprint of a whole flattened level.
+func levelBytes(classes []eqClass) int64 {
+	var b int64
+	for _, c := range classes {
+		for _, a := range c.atoms {
+			b += int64(a.node.Bytes())
+		}
+	}
+	return b
 }
 
 // expandLevel runs one parallel breadth step: every (class, pos) task
 // joins its atom with the later siblings, records the frequent results
 // (itemsets of size memberSize), and emits the subclass for the next
-// level.
-func expandLevel(rep vertical.Representation, classes []eqClass, memberSize, minSup int,
-	team *sched.Team, schedule sched.Schedule, col *perf.Collector,
-	private [][]core.ItemsetCount) []eqClass {
-
+// level. The previous level's payloads are released once the new level
+// is live, and the memory-budget policy runs at the boundary.
+func (f *flattenedMiner) expandLevel(classes []eqClass, memberSize int) ([]eqClass, error) {
 	tasks := expansions(classes)
-	phase := col.NewPhase(fmt.Sprintf("eclat/expand%d", memberSize), schedule, true, len(tasks))
+	phase := f.col.NewPhase(fmt.Sprintf("eclat/expand%d", memberSize), f.schedule, true, len(tasks))
 	if phase != nil {
 		phase.UniqueParent = maxClassBytes(classes)
 	}
+	rep := f.rep
 	next := make([]eqClass, len(tasks))
-	team.For(len(tasks), schedule, func(w, t int) {
+	err := f.team.ForCtx(f.rc, len(tasks), f.schedule, func(w, t int) {
 		e := tasks[t]
 		class := classes[e.class]
-		m := &minerState{rep: rep, minSup: minSup, phase: phase, task: t}
+		m := &minerState{rep: rep, minSup: f.minSup, phase: phase, task: t, rc: f.rc}
 		sub := m.expandOne(class, int(e.pos))
 		if len(sub) > 0 {
 			next[t] = eqClass{prefix: class.prefix.Extend(class.atoms[e.pos].item), atoms: sub}
 		}
-		private[w] = append(private[w], m.out...)
+		f.private[w] = append(f.private[w], m.out...)
 	})
-	out := next[:0]
-	for _, c := range next {
+	if err != nil {
+		return nil, err
+	}
+	prevBytes := levelBytes(classes)
+	out := make([]eqClass, 0, len(next))
+	parentOf := make([]vertical.Node, 0, len(next))
+	for t, c := range next {
 		if len(c.atoms) > 0 {
 			out = append(out, c)
+			e := tasks[t]
+			parentOf = append(parentOf, classes[e.class].atoms[e.pos].node)
 		}
 	}
-	return out
+	if err := f.maybeDegrade(out, func(c int) vertical.Node { return parentOf[c] }); err != nil {
+		return nil, err
+	}
+	f.rc.ChargeMem(-prevBytes)
+	return out, nil
 }
 
 // expandOne joins class.atoms[pos] with every later sibling, recording
@@ -321,6 +455,9 @@ func (m *minerState) expandOne(class eqClass, pos int) []atom {
 	newPrefix := class.prefix.Extend(a.item)
 	var sub []atom
 	for k := pos + 1; k < len(class.atoms); k++ {
+		if m.rc.Stopped() {
+			break
+		}
 		b := class.atoms[k]
 		child := m.rep.Combine(a.node, b.node)
 		cost := int64(vertical.CombineCost(a.node, b.node))
@@ -330,23 +467,22 @@ func (m *minerState) expandOne(class eqClass, pos int) []atom {
 		}
 		m.add(cost+int64(child.Bytes()), remote, int64(child.Bytes()))
 		if child.Support() >= m.minSup {
-			m.out = append(m.out, core.ItemsetCount{
-				Items:   newPrefix.Extend(b.item),
-				Support: child.Support(),
-			})
+			m.emit(newPrefix.Extend(b.item), child.Support())
+			m.rc.ChargeMem(int64(child.Bytes()))
 			sub = append(sub, atom{item: b.item, node: child})
 		}
 	}
 	return sub
 }
 
-// minerState carries one task's recursion context: its output buffer and
-// instrumentation coordinates.
+// minerState carries one task's recursion context: its output buffer,
+// run control, and instrumentation coordinates.
 type minerState struct {
 	rep    vertical.Representation
 	minSup int
 	phase  *perf.Phase
 	task   int
+	rc     *runctl.Control
 	out    []core.ItemsetCount
 }
 
@@ -360,11 +496,37 @@ func (m *minerState) addLocal(work, alloc int64) {
 	m.phase.Add(m.task, work, 0, alloc)
 }
 
+// emit records one frequent itemset and accounts it against the
+// itemsets budget (AddItemsets stops the run on breach; the recursion
+// then unwinds at its next Stopped check).
+func (m *minerState) emit(items itemset.Itemset, support int) {
+	m.out = append(m.out, core.ItemsetCount{Items: items, Support: support})
+	m.rc.AddItemsets(1)
+}
+
+// releaseAtoms returns a class's payload bytes to the memory budget
+// when its recursion scope ends.
+func (m *minerState) releaseAtoms(class []atom) {
+	if m.rc == nil {
+		return
+	}
+	var b int64
+	for _, a := range class {
+		b += int64(a.node.Bytes())
+	}
+	m.rc.ChargeMem(-b)
+}
+
 // recurse explores the class rooted at prefix (Algorithm 2 lines 3–11):
 // for every atom, join it with every later atom of the same class; record
-// the frequent joins and descend into the new class.
+// the frequent joins and descend into the new class. The stop flag is
+// checked at every class descent, so a cancelled or over-budget run
+// unwinds without finishing the subtree.
 func (m *minerState) recurse(prefix itemset.Itemset, class []atom) {
 	for i := 0; i+1 < len(class); i++ {
+		if m.rc.Stopped() {
+			return
+		}
 		newPrefix := prefix.Extend(class[i].item)
 		var sub []atom
 		for j := i + 1; j < len(class); j++ {
@@ -372,15 +534,14 @@ func (m *minerState) recurse(prefix itemset.Itemset, class []atom) {
 			cost := int64(vertical.CombineCost(class[i].node, class[j].node))
 			m.addLocal(cost+int64(child.Bytes()), int64(child.Bytes()))
 			if child.Support() >= m.minSup {
-				m.out = append(m.out, core.ItemsetCount{
-					Items:   newPrefix.Extend(class[j].item),
-					Support: child.Support(),
-				})
+				m.emit(newPrefix.Extend(class[j].item), child.Support())
+				m.rc.ChargeMem(int64(child.Bytes()))
 				sub = append(sub, atom{item: class[j].item, node: child})
 			}
 		}
 		if len(sub) > 0 {
 			m.recurse(newPrefix, sub)
 		}
+		m.releaseAtoms(sub)
 	}
 }

@@ -37,7 +37,7 @@ func classicRecoded(t *testing.T, minSup int) *dataset.Recoded {
 
 func TestMineClassicExample(t *testing.T) {
 	rec := classicRecoded(t, 2)
-	res := Mine(rec, 2, core.DefaultOptions(vertical.Tidset, 1))
+	res := mine(rec, 2, core.DefaultOptions(vertical.Tidset, 1))
 	ref := verify.Reference(rec, 2)
 	if !res.Equal(ref) {
 		t.Fatalf("eclat disagrees with reference:\n%s", verify.Diff(res, ref))
@@ -51,7 +51,7 @@ func TestMineAllRepresentationsAgree(t *testing.T) {
 	rec := classicRecoded(t, 2)
 	ref := verify.Reference(rec, 2)
 	for _, kind := range vertical.AllKinds() {
-		res := Mine(rec, 2, core.DefaultOptions(kind, 1))
+		res := mine(rec, 2, core.DefaultOptions(kind, 1))
 		if !res.Equal(ref) {
 			t.Errorf("%v disagrees with reference:\n%s", kind, verify.Diff(res, ref))
 		}
@@ -60,7 +60,7 @@ func TestMineAllRepresentationsAgree(t *testing.T) {
 
 func TestMineParallelMatchesSerial(t *testing.T) {
 	rec := classicRecoded(t, 2)
-	serial := Mine(rec, 2, core.DefaultOptions(vertical.Diffset, 1))
+	serial := mine(rec, 2, core.DefaultOptions(vertical.Diffset, 1))
 	for _, workers := range []int{2, 3, 8, 64} {
 		for _, schedule := range []sched.Schedule{
 			{Policy: sched.Dynamic, Chunk: 1}, {Policy: sched.Static}, {Policy: sched.Guided},
@@ -68,7 +68,7 @@ func TestMineParallelMatchesSerial(t *testing.T) {
 			for _, kind := range vertical.Kinds() {
 				opt := core.DefaultOptions(kind, workers)
 				opt.Schedule, opt.HasSchedule = schedule, true
-				res := Mine(rec, 2, opt)
+				res := mine(rec, 2, opt)
 				if !res.Equal(serial) {
 					t.Errorf("workers=%d %v %v disagrees with serial:\n%s",
 						workers, schedule, kind, verify.Diff(res, serial))
@@ -82,27 +82,27 @@ func TestMineEdgeCases(t *testing.T) {
 	// No frequent items.
 	db, _ := dataset.ReadFIMI("t", strings.NewReader("1 2\n3 4\n"))
 	rec := db.Recode(2)
-	res := Mine(rec, 2, core.DefaultOptions(vertical.Tidset, 2))
+	res := mine(rec, 2, core.DefaultOptions(vertical.Tidset, 2))
 	if res.Len() != 0 {
 		t.Errorf("found %d itemsets", res.Len())
 	}
 	// Single frequent item: just the 1-itemset.
 	db2, _ := dataset.ReadFIMI("t", strings.NewReader("1\n1\n1 2\n"))
 	rec2 := db2.Recode(2)
-	res2 := Mine(rec2, 2, core.DefaultOptions(vertical.Diffset, 4))
+	res2 := mine(rec2, 2, core.DefaultOptions(vertical.Diffset, 4))
 	if res2.Len() != 1 || res2.MaxK != 1 {
 		t.Errorf("Len=%d MaxK=%d, want 1, 1", res2.Len(), res2.MaxK)
 	}
 	// Everything identical: full lattice.
 	db3, _ := dataset.ReadFIMI("t", strings.NewReader("1 2 3 4\n1 2 3 4\n"))
 	rec3 := db3.Recode(2)
-	res3 := Mine(rec3, 2, core.DefaultOptions(vertical.Bitvector, 3))
+	res3 := mine(rec3, 2, core.DefaultOptions(vertical.Bitvector, 3))
 	if res3.Len() != 15 { // 2^4 - 1
 		t.Errorf("full lattice: %d itemsets, want 15", res3.Len())
 	}
 	// Empty database.
 	rec4 := (&dataset.DB{}).Recode(1)
-	if got := Mine(rec4, 1, core.DefaultOptions(vertical.Tidset, 2)); got.Len() != 0 {
+	if got := mine(rec4, 1, core.DefaultOptions(vertical.Tidset, 2)); got.Len() != 0 {
 		t.Errorf("empty DB produced %d itemsets", got.Len())
 	}
 }
@@ -117,7 +117,7 @@ func TestEclatMatchesApriorisBehaviourDeepLattice(t *testing.T) {
 	sb.WriteString("1 2\n")
 	db, _ := dataset.ReadFIMI("deep", strings.NewReader(sb.String()))
 	rec := db.Recode(5)
-	res := Mine(rec, 5, core.DefaultOptions(vertical.Diffset, 3))
+	res := mine(rec, 5, core.DefaultOptions(vertical.Diffset, 3))
 	if res.Len() != 127 { // 2^7 - 1 subsets
 		t.Errorf("deep lattice: %d itemsets, want 127", res.Len())
 	}
@@ -134,7 +134,7 @@ func TestCollectorPhaseDepth1(t *testing.T) {
 	opt := core.DefaultOptions(vertical.Tidset, 2)
 	opt.Collector = col
 	opt.EclatDepth = 1
-	Mine(rec, 2, opt)
+	mine(rec, 2, opt)
 	if len(col.Phases) != 1 {
 		t.Fatalf("recorded %d phases, want 1", len(col.Phases))
 	}
@@ -168,7 +168,7 @@ func TestCollectorPhasesDepth2(t *testing.T) {
 	opt := core.DefaultOptions(vertical.Tidset, 2)
 	opt.Collector = col
 	opt.EclatDepth = 2
-	Mine(rec, 2, opt)
+	mine(rec, 2, opt)
 	if len(col.Phases) != 2 {
 		t.Fatalf("recorded %d phases, want 2", len(col.Phases))
 	}
@@ -193,7 +193,7 @@ func TestCollectorPhasesDefaultDepth(t *testing.T) {
 	col := &perf.Collector{}
 	opt := core.DefaultOptions(vertical.Tidset, 2)
 	opt.Collector = col
-	Mine(rec, 2, opt)
+	mine(rec, 2, opt)
 	// Default depth 4: pairs, expand3, expand4, subtrees.
 	if len(col.Phases) != 4 {
 		t.Fatalf("recorded %d phases, want 4", len(col.Phases))
@@ -213,7 +213,7 @@ func TestAllDepthsAgree(t *testing.T) {
 		for _, depth := range []int{1, 2, 3, 4, 8} {
 			opt := core.DefaultOptions(kind, 3)
 			opt.EclatDepth = depth
-			results = append(results, Mine(rec, 2, opt))
+			results = append(results, mine(rec, 2, opt))
 		}
 		for i := 1; i < len(results); i++ {
 			if !results[0].Equal(results[i]) {
@@ -251,10 +251,20 @@ func TestQuickAgainstReference(t *testing.T) {
 		workers := []int{1, 4}[r.Intn(2)]
 		opt := core.DefaultOptions(kind, workers)
 		opt.EclatDepth = 1 + r.Intn(4)
-		res := Mine(rec, minSup, opt)
+		res := mine(rec, minSup, opt)
 		return res.Equal(ref)
 	}
 	if err := quick.Check(law, cfg); err != nil {
 		t.Errorf("eclat vs reference: %v", err)
 	}
+}
+
+// mine wraps Mine for the test call sites that expect an error-free
+// run: no budget or cancellation is in play, so an error is a failure.
+func mine(rec *dataset.Recoded, minSup int, opt core.Options) *core.Result {
+	res, err := Mine(rec, minSup, opt)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }

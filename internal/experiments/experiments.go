@@ -90,6 +90,16 @@ type Table struct {
 	Rows           []Row
 }
 
+// mustMine unwraps a miner's (result, error) pair. The experiment
+// harness never sets a run-control budget or cancellable context, so a
+// mining error here is a bug, not an operating condition.
+func mustMine(res *core.Result, err error) *core.Result {
+	if err != nil {
+		panic(fmt.Sprintf("experiments: mining failed: %v", err))
+	}
+	return res
+}
+
 // mineTraced runs one instrumented mining pass and returns the result,
 // trace, and real wall-clock.
 func mineTraced(rec *dataset.Recoded, minSup int, algo core.Algorithm, rep vertical.Kind) (*core.Result, *perf.Collector, float64) {
@@ -100,9 +110,9 @@ func mineTraced(rec *dataset.Recoded, minSup int, algo core.Algorithm, rep verti
 	var res *core.Result
 	switch algo {
 	case core.Apriori:
-		res = apriori.Mine(rec, minSup, opt)
+		res = mustMine(apriori.Mine(rec, minSup, opt))
 	case core.Eclat:
-		res = eclat.Mine(rec, minSup, opt)
+		res = mustMine(eclat.Mine(rec, minSup, opt))
 	default:
 		panic(fmt.Sprintf("experiments: unsupported algorithm %v", algo))
 	}
@@ -292,9 +302,9 @@ func ScheduleAblation(cfg Config) []ScheduleRow {
 				opt.Schedule, opt.HasSchedule = s, true
 				switch algo {
 				case core.Apriori:
-					apriori.Mine(rec, rec.MinSup, opt)
+					mustMine(apriori.Mine(rec, rec.MinSup, opt))
 				case core.Eclat:
-					eclat.Mine(rec, rec.MinSup, opt)
+					mustMine(eclat.Mine(rec, rec.MinSup, opt))
 				}
 				rt := machine.Simulate(col, threads, cfg.Machine)
 				row.Seconds[s.String()] = rt.Seconds
@@ -332,7 +342,7 @@ func ChunkAblation(cfg Config) []ChunkRow {
 			opt.Collector = col
 			opt.Schedule = sched.Schedule{Policy: sched.Dynamic, Chunk: chunk}
 			opt.HasSchedule = true
-			eclat.Mine(rec, rec.MinSup, opt)
+			mustMine(eclat.Mine(rec, rec.MinSup, opt))
 			row.Seconds[chunk] = machine.Simulate(col, threads, cfg.Machine).Seconds
 		}
 		rows = append(rows, row)
@@ -366,7 +376,7 @@ func DepthAblation(cfg Config) []DepthRow {
 			opt := core.DefaultOptions(vertical.Diffset, 1)
 			opt.Collector = col
 			opt.EclatDepth = depth
-			eclat.Mine(rec, rec.MinSup, opt)
+			mustMine(eclat.Mine(rec, rec.MinSup, opt))
 			_, sp := machine.Speedup(col, []int{threads}, cfg.Machine)
 			row.Speedup[depth] = sp[0]
 		}
@@ -459,8 +469,8 @@ func Baselines(cfg Config) []BaselineRow {
 			f()
 			return time.Since(start).Seconds()
 		}
-		row.VerticalTidset = timeIt(func() { apriori.Mine(rec, rec.MinSup, core.DefaultOptions(vertical.Tidset, 1)) })
-		row.VerticalDiffset = timeIt(func() { apriori.Mine(rec, rec.MinSup, core.DefaultOptions(vertical.Diffset, 1)) })
+		row.VerticalTidset = timeIt(func() { mustMine(apriori.Mine(rec, rec.MinSup, core.DefaultOptions(vertical.Tidset, 1))) })
+		row.VerticalDiffset = timeIt(func() { mustMine(apriori.Mine(rec, rec.MinSup, core.DefaultOptions(vertical.Diffset, 1))) })
 		row.HorizontalScan = timeIt(func() { horizontal.Mine(rec, rec.MinSup, 1, horizontal.Partial, nil) })
 		row.PointerTrie = timeIt(func() { ptrie.Mine(rec, rec.MinSup, 1) })
 		col := &perf.Collector{}
@@ -512,7 +522,7 @@ func HTAblation(cfg Config) []HTRow {
 		col := &perf.Collector{}
 		opt := core.DefaultOptions(vertical.Diffset, 1)
 		opt.Collector = col
-		eclat.Mine(rec, rec.MinSup, opt)
+		mustMine(eclat.Mine(rec, rec.MinSup, opt))
 		noHT := machine.Simulate(col, threads, cfg.Machine).Seconds
 		// With SMT, a core running a single busy thread still gets full
 		// throughput, so the hyperthreaded machine is never slower than
@@ -574,7 +584,7 @@ func OrderAblation(cfg Config) []OrderRow {
 			col := &perf.Collector{}
 			opt := core.DefaultOptions(vertical.Diffset, 1)
 			opt.Collector = col
-			eclat.Mine(rec, minSup, opt)
+			mustMine(eclat.Mine(rec, minSup, opt))
 			_, sp := machine.Speedup(col, []int{threads}, cfg.Machine)
 			if order == dataset.ByCode {
 				row.WorkByCode, row.SpeedupByCode = col.TotalWork(), sp[0]
@@ -628,7 +638,7 @@ func LazyAblation(cfg Config) []LazyRow {
 			opt := core.DefaultOptions(vertical.Tidset, 1)
 			opt.Collector = col
 			opt.LazyMaterialize = lazyOn
-			apriori.Mine(rec, rec.MinSup, opt)
+			mustMine(apriori.Mine(rec, rec.MinSup, opt))
 			if lazyOn {
 				row.LazyAlloc = col.TotalAlloc()
 			} else {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/itemset"
+	"repro/internal/runctl"
 	"repro/internal/sched"
 )
 
@@ -41,7 +42,17 @@ type tree struct {
 	root   *node
 	heads  map[int32]*node // item -> first node in its chain
 	counts map[int32]int   // item -> total count in this tree
+	nodes  int             // nodes allocated, for memory accounting
 }
+
+// treeNodeBytes approximates one FP-tree node's heap footprint: the
+// struct (two ints, three pointers) plus its share of the children map
+// and header/count table entries. Used only for run-control memory
+// accounting; FP-growth has no payload Bytes() of its own.
+const treeNodeBytes = 96
+
+// bytes estimates the tree's live heap footprint for the memory budget.
+func (t *tree) bytes() int64 { return int64(t.nodes) * treeNodeBytes }
 
 func newTree() *tree {
 	return &tree{
@@ -61,6 +72,7 @@ func (t *tree) insert(items []int32, count int) {
 			child.next = t.heads[it]
 			t.heads[it] = child
 			cur.children[it] = child
+			t.nodes++
 		}
 		child.count += count
 		t.counts[it] += count
@@ -90,22 +102,38 @@ func (t *tree) conditional(it int32) *tree {
 // Mine runs FP-growth over the recoded database with the given absolute
 // minimum support. Options.Workers parallelizes the top-level header
 // loop; Representation is recorded but unused (FP-growth is horizontal).
-func Mine(rec *dataset.Recoded, minSup int, opt core.Options) *core.Result {
+//
+// When opt.Control is set the run is cancellable and budgeted: the
+// header loop drains at chunk boundaries, the recursion checks the stop
+// flag per conditional tree, the global and conditional FP-trees are
+// charged against the memory budget (estimated at treeNodeBytes per
+// node — FP-growth has no diffset form, so a breach always stops with a
+// *runctl.BudgetError rather than degrading), and emitted itemsets are
+// counted against MaxItemsets.
+func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, error) {
 	if minSup < 1 {
 		minSup = 1
 	}
+	rc := opt.Control
 	res := &core.Result{
 		Algorithm:      core.FPGrowth,
 		Representation: opt.Representation,
 		MinSup:         minSup,
 		Rec:            rec,
 	}
+	finish := func(err error) (*core.Result, error) {
+		if err != nil {
+			res.Incomplete = true
+			res.StopCause = err
+		}
+		return res, err
+	}
 
 	// Global frequency order: descending support, ties by ascending code.
 	// The recode pass already filtered to frequent items.
 	n := len(rec.Items)
 	if n == 0 {
-		return res
+		return finish(nil)
 	}
 	order := make([]int32, n) // rank -> item
 	for i := range order {
@@ -120,16 +148,30 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) *core.Result {
 	}
 
 	// Build the global tree serially: items within a transaction sorted
-	// by rank.
+	// by rank. The stop flag is polled every insertStride transactions so
+	// a cancelled run does not first pay for the whole tree.
+	const insertStride = 1024
 	t := newTree()
 	buf := make([]int32, 0, 64)
-	for _, tr := range rec.DB.Transactions {
+	for tid, tr := range rec.DB.Transactions {
+		if tid%insertStride == 0 && rc.Stopped() {
+			return finish(rc.Cause())
+		}
 		buf = buf[:0]
 		for _, it := range tr {
 			buf = append(buf, int32(it))
 		}
 		sort.Slice(buf, func(a, b int) bool { return rank[buf[a]] < rank[buf[b]] })
 		t.insert(buf, 1)
+	}
+	rc.ChargeMem(t.bytes())
+	// FP-growth cannot degrade to diffsets, so enforce the memory budget
+	// directly even on runs that requested degradation.
+	if err := rc.CheckMemory(); err != nil {
+		return finish(err)
+	}
+	if err := rc.Err(); err != nil {
+		return finish(err)
 	}
 
 	schedule := DefaultSchedule
@@ -143,15 +185,17 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) *core.Result {
 	// Top-level parallel loop: one task per frequent item, growing its
 	// conditional subtree privately.
 	private := make([][]core.ItemsetCount, workers)
-	team.For(n, schedule, func(w, i int) {
+	err := team.ForCtx(rc, n, schedule, func(w, i int) {
 		it := int32(i)
-		m := &grower{rank: rank, minSup: minSup}
+		m := &grower{rank: rank, minSup: minSup, rc: rc}
 		pattern := itemset.New(itemset.Item(it))
-		m.out = append(m.out, core.ItemsetCount{Items: pattern, Support: rec.Items[it].Support})
+		m.emit(pattern, rec.Items[it].Support)
 		cond := t.conditional(it)
 		m.work += int64(4 * len(cond.counts))
 		if len(cond.counts) > 0 {
+			rc.ChargeMem(cond.bytes())
 			m.grow(cond, pattern)
+			rc.ChargeMem(-cond.bytes())
 		}
 		phase.Add(i, m.work, 0, m.work)
 		private[w] = append(private[w], m.out...)
@@ -164,18 +208,28 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) *core.Result {
 			}
 		}
 	}
-	return res
+	return finish(err)
 }
 
 // grower carries one top-level task's recursion state.
 type grower struct {
 	rank   []int32
 	minSup int
+	rc     *runctl.Control
 	out    []core.ItemsetCount
 	work   int64
 }
 
-// grow recursively mines a conditional tree under the given suffix.
+// emit records one frequent itemset and accounts it against the
+// itemsets budget.
+func (g *grower) emit(items itemset.Itemset, support int) {
+	g.out = append(g.out, core.ItemsetCount{Items: items, Support: support})
+	g.rc.AddItemsets(1)
+}
+
+// grow recursively mines a conditional tree under the given suffix,
+// checking the stop flag per conditional tree and charging each one
+// against the memory budget for its lifetime.
 func (g *grower) grow(t *tree, suffix itemset.Itemset) {
 	// Visit items in reverse frequency order (deepest first).
 	items := make([]int32, 0, len(t.counts))
@@ -184,16 +238,22 @@ func (g *grower) grow(t *tree, suffix itemset.Itemset) {
 	}
 	sort.Slice(items, func(a, b int) bool { return g.rank[items[a]] > g.rank[items[b]] })
 	for _, it := range items {
+		if g.rc.Stopped() {
+			return
+		}
 		support := t.counts[it]
 		if support < g.minSup {
 			continue
 		}
 		pattern := itemset.New(append(suffix.Clone(), itemset.Item(it))...)
-		g.out = append(g.out, core.ItemsetCount{Items: pattern, Support: support})
+		g.emit(pattern, support)
 		cond := t.conditional(it)
 		g.work += int64(8 * len(cond.counts))
 		if len(cond.counts) > 0 {
+			g.rc.ChargeMem(cond.bytes())
+			g.rc.CheckMemory() // no degrade path; Stopped unwinds the recursion
 			g.grow(cond, pattern)
+			g.rc.ChargeMem(-cond.bytes())
 		}
 	}
 }

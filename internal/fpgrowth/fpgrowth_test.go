@@ -38,7 +38,7 @@ func classicRecoded(t *testing.T, minSup int) *dataset.Recoded {
 
 func TestMineClassicExample(t *testing.T) {
 	rec := classicRecoded(t, 2)
-	res := Mine(rec, 2, core.DefaultOptions(vertical.Tidset, 1))
+	res := mine(rec, 2, core.DefaultOptions(vertical.Tidset, 1))
 	ref := verify.Reference(rec, 2)
 	if !res.Equal(ref) {
 		t.Fatalf("fpgrowth disagrees with reference:\n%s", verify.Diff(res, ref))
@@ -50,9 +50,9 @@ func TestMineClassicExample(t *testing.T) {
 
 func TestMineAgreesWithVerticalMiners(t *testing.T) {
 	rec := classicRecoded(t, 2)
-	fp := Mine(rec, 2, core.DefaultOptions(vertical.Tidset, 1))
-	ap := apriori.Mine(rec, 2, core.DefaultOptions(vertical.Diffset, 2))
-	ec := eclat.Mine(rec, 2, core.DefaultOptions(vertical.Bitvector, 2))
+	fp := mine(rec, 2, core.DefaultOptions(vertical.Tidset, 1))
+	ap := must(apriori.Mine(rec, 2, core.DefaultOptions(vertical.Diffset, 2)))
+	ec := must(eclat.Mine(rec, 2, core.DefaultOptions(vertical.Bitvector, 2)))
 	if !fp.Equal(ap) {
 		t.Errorf("fpgrowth vs apriori:\n%s", verify.Diff(fp, ap))
 	}
@@ -64,20 +64,20 @@ func TestMineAgreesWithVerticalMiners(t *testing.T) {
 func TestMineEdgeCases(t *testing.T) {
 	// Empty database.
 	rec := (&dataset.DB{}).Recode(1)
-	if res := Mine(rec, 1, core.DefaultOptions(vertical.Tidset, 1)); res.Len() != 0 {
+	if res := mine(rec, 1, core.DefaultOptions(vertical.Tidset, 1)); res.Len() != 0 {
 		t.Errorf("empty DB produced %d itemsets", res.Len())
 	}
 	// Single transaction: full powerset.
 	db, _ := dataset.ReadFIMI("t", strings.NewReader("3 1 2\n"))
 	rec2 := db.Recode(1)
-	res := Mine(rec2, 1, core.DefaultOptions(vertical.Tidset, 1))
+	res := mine(rec2, 1, core.DefaultOptions(vertical.Tidset, 1))
 	if res.Len() != 7 {
 		t.Errorf("single transaction: %d itemsets, want 7", res.Len())
 	}
 	// Duplicate transactions exercise path-count accumulation.
 	db2, _ := dataset.ReadFIMI("t", strings.NewReader("1 2\n1 2\n1 2\n2 3\n"))
 	rec3 := db2.Recode(2)
-	res2 := Mine(rec3, 2, core.DefaultOptions(vertical.Tidset, 1))
+	res2 := mine(rec3, 2, core.DefaultOptions(vertical.Tidset, 1))
 	ref := verify.Reference(rec3, 2)
 	if !res2.Equal(ref) {
 		t.Errorf("duplicate paths:\n%s", verify.Diff(res2, ref))
@@ -91,7 +91,7 @@ func TestDeepLattice(t *testing.T) {
 	}
 	db, _ := dataset.ReadFIMI("deep", strings.NewReader(sb.String()))
 	rec := db.Recode(4)
-	res := Mine(rec, 4, core.DefaultOptions(vertical.Tidset, 1))
+	res := mine(rec, 4, core.DefaultOptions(vertical.Tidset, 1))
 	if res.Len() != 63 { // 2^6 - 1
 		t.Errorf("deep lattice: %d itemsets, want 63", res.Len())
 	}
@@ -123,7 +123,7 @@ func TestQuickAgainstReference(t *testing.T) {
 		minSup := 1 + r.Intn(nTrans/2+1)
 		rec := db.Recode(minSup)
 		ref := verify.Reference(rec, minSup)
-		res := Mine(rec, minSup, core.DefaultOptions(vertical.Tidset, 1))
+		res := mine(rec, minSup, core.DefaultOptions(vertical.Tidset, 1))
 		return res.Equal(ref)
 	}
 	if err := quick.Check(law, cfg); err != nil {
@@ -133,9 +133,9 @@ func TestQuickAgainstReference(t *testing.T) {
 
 func TestParallelMatchesSerial(t *testing.T) {
 	rec := classicRecoded(t, 2)
-	serial := Mine(rec, 2, core.DefaultOptions(vertical.Tidset, 1))
+	serial := mine(rec, 2, core.DefaultOptions(vertical.Tidset, 1))
 	for _, workers := range []int{2, 4, 16} {
-		res := Mine(rec, 2, core.DefaultOptions(vertical.Tidset, workers))
+		res := mine(rec, 2, core.DefaultOptions(vertical.Tidset, workers))
 		if !res.Equal(serial) {
 			t.Errorf("workers=%d disagrees with serial:\n%s", workers, verify.Diff(res, serial))
 		}
@@ -147,7 +147,7 @@ func TestCollectorPhase(t *testing.T) {
 	col := &perf.Collector{}
 	opt := core.DefaultOptions(vertical.Tidset, 2)
 	opt.Collector = col
-	Mine(rec, 2, opt)
+	mine(rec, 2, opt)
 	if len(col.Phases) != 1 || col.Phases[0].Name != "fpgrowth/items" {
 		t.Fatalf("phases = %v", col.Phases)
 	}
@@ -157,4 +157,22 @@ func TestCollectorPhase(t *testing.T) {
 	if col.Phases[0].Shared {
 		t.Error("fpgrowth tasks marked shared (conditional trees are private)")
 	}
+}
+
+// mine wraps Mine for the test call sites that expect an error-free
+// run: no budget or cancellation is in play, so an error is a failure.
+func mine(rec *dataset.Recoded, minSup int, opt core.Options) *core.Result {
+	res, err := Mine(rec, minSup, opt)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// must unwraps a cross-package miner's (result, error) pair.
+func must(res *core.Result, err error) *core.Result {
+	if err != nil {
+		panic(err)
+	}
+	return res
 }

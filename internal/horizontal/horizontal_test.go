@@ -50,7 +50,7 @@ func TestMineMatchesReference(t *testing.T) {
 
 func TestMineMatchesVerticalApriori(t *testing.T) {
 	rec := classicRecoded(t, 2)
-	vert := apriori.Mine(rec, 2, core.DefaultOptions(vertical.Tidset, 2))
+	vert := must(apriori.Mine(rec, 2, core.DefaultOptions(vertical.Tidset, 2)))
 	hor := Mine(rec, 2, 2, Partial, nil)
 	if !hor.Equal(vert) {
 		t.Errorf("horizontal vs vertical:\n%s", verify.Diff(hor, vert))
@@ -97,7 +97,7 @@ func TestHorizontalScansMoreThanVertical(t *testing.T) {
 	Mine(rec, 2, 1, Partial, colH)
 	opt := core.DefaultOptions(vertical.Tidset, 1)
 	opt.Collector = colV
-	apriori.Mine(rec, 2, opt)
+	must(apriori.Mine(rec, 2, opt))
 	if colH.TotalWork() <= colV.TotalWork() {
 		t.Errorf("horizontal work %d not above vertical %d", colH.TotalWork(), colV.TotalWork())
 	}
@@ -147,4 +147,12 @@ func TestQuickAgainstReference(t *testing.T) {
 	if err := quick.Check(law, cfg); err != nil {
 		t.Errorf("horizontal vs reference: %v", err)
 	}
+}
+
+// must unwraps the vertical miner's (result, error) pair.
+func must(res *core.Result, err error) *core.Result {
+	if err != nil {
+		panic(err)
+	}
+	return res
 }

@@ -1,0 +1,248 @@
+// Package runctl is the engine's run-control layer: cooperative
+// cancellation, resource budgets, and typed stop reasons, threaded
+// through every miner and checked by the scheduler at chunk boundaries.
+//
+// A Control is created per mining run (by fim.MineContext) from a
+// context.Context and a Budget. The hot-path primitive is Stopped(), a
+// single atomic load: context cancellation and the duration budget are
+// turned into the same stop flag by background watchers, so workers
+// never call time.Now or poll the context themselves. Err() is the
+// chunk-boundary check: it additionally enforces the memory budget and
+// records the first stop cause.
+//
+// A nil *Control is valid everywhere and disables all run control, so
+// call sites pay one nil check when the feature is off.
+package runctl
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Budget bounds a mining run's resource use. Zero fields mean
+// "unlimited".
+type Budget struct {
+	// MaxMemoryBytes caps the live payload bytes (tidset/bitvector/
+	// diffset sets) the miner accounts via ChargeMem. On breach the run
+	// stops with a *BudgetError — unless DegradeToDiffset is set, in
+	// which case the miner may switch representation instead.
+	MaxMemoryBytes int64
+	// MaxItemsets caps the number of frequent itemsets emitted.
+	MaxItemsets int64
+	// MaxDuration caps the run's wall-clock time.
+	MaxDuration time.Duration
+	// DegradeToDiffset lets Apriori/Eclat respond to a memory-budget
+	// breach by converting the live payloads to diffsets (the paper's
+	// own cure for the tidset/bitvector footprint blow-up, applied
+	// adaptively) instead of stopping.
+	DegradeToDiffset bool
+}
+
+// BudgetError reports that a run exceeded one of its Budget limits.
+type BudgetError struct {
+	// Resource names the exhausted budget: "memory", "itemsets" or
+	// "duration".
+	Resource string
+	// Limit and Used are in the resource's unit (bytes, itemsets,
+	// nanoseconds).
+	Limit, Used int64
+}
+
+func (e *BudgetError) Error() string {
+	switch e.Resource {
+	case "duration":
+		return fmt.Sprintf("runctl: duration budget exhausted (limit %v)", time.Duration(e.Limit))
+	default:
+		return fmt.Sprintf("runctl: %s budget exhausted (used %d of %d)", e.Resource, e.Used, e.Limit)
+	}
+}
+
+// WorkerPanicError reports a panic recovered inside a scheduler worker.
+// The panic is contained: the remaining chunks are cancelled, the team
+// drains, and the miner returns this error instead of crashing the
+// process.
+type WorkerPanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Worker is the team-local index of the worker that panicked.
+	Worker int
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *WorkerPanicError) Error() string {
+	return fmt.Sprintf("runctl: worker %d panicked: %v", e.Worker, e.Value)
+}
+
+// Unwrap exposes a panic value that was itself an error.
+func (e *WorkerPanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Control is one run's cancellation and budget state. Construct with
+// New and release with Close; a nil *Control disables run control.
+type Control struct {
+	budget  Budget
+	stopped atomic.Bool
+	mem     atomic.Int64
+	items   atomic.Int64
+
+	mu    sync.Mutex
+	cause error
+
+	stopCtxWatch func() bool
+	timer        *time.Timer
+}
+
+// New builds a Control for one run. ctx cancellation and the duration
+// budget are propagated to the stop flag by watchers that Close
+// releases; callers must Close the Control when the run returns.
+func New(ctx context.Context, b Budget) *Control {
+	c := &Control{budget: b}
+	if ctx != nil && ctx.Done() != nil {
+		c.stopCtxWatch = context.AfterFunc(ctx, func() { c.Stop(ctx.Err()) })
+	}
+	if b.MaxDuration > 0 {
+		c.timer = time.AfterFunc(b.MaxDuration, func() {
+			c.Stop(&BudgetError{Resource: "duration", Limit: int64(b.MaxDuration), Used: int64(b.MaxDuration)})
+		})
+	}
+	return c
+}
+
+// Close releases the Control's watchers. The Control remains readable
+// (Err, Stopped) after Close.
+func (c *Control) Close() {
+	if c == nil {
+		return
+	}
+	if c.stopCtxWatch != nil {
+		c.stopCtxWatch()
+	}
+	if c.timer != nil {
+		c.timer.Stop()
+	}
+}
+
+// Budget returns the run's budget (zero value for a nil Control).
+func (c *Control) Budget() Budget {
+	if c == nil {
+		return Budget{}
+	}
+	return c.budget
+}
+
+// Stop records err as the run's stop cause and raises the stop flag.
+// Only the first cause is kept; later calls are no-ops. A nil err is
+// ignored.
+func (c *Control) Stop(err error) {
+	if c == nil || err == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.cause == nil {
+		c.cause = err
+	}
+	c.mu.Unlock()
+	c.stopped.Store(true)
+}
+
+// Stopped reports whether the run should unwind. It is a single atomic
+// load, cheap enough for inner-loop checks.
+func (c *Control) Stopped() bool {
+	return c != nil && c.stopped.Load()
+}
+
+// Cause returns the recorded stop cause, or nil.
+func (c *Control) Cause() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cause
+}
+
+// Err is the chunk-boundary check: it returns the stop cause if the run
+// was stopped, and additionally enforces the memory budget for runs that
+// cannot degrade (degradable runs handle memory at level boundaries via
+// OverMemory, because switching representation can cure the breach).
+func (c *Control) Err() error {
+	if c == nil {
+		return nil
+	}
+	if c.stopped.Load() {
+		return c.Cause()
+	}
+	if !c.budget.DegradeToDiffset {
+		if err := c.CheckMemory(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ChargeMem accounts delta bytes of live payload (negative to release).
+func (c *Control) ChargeMem(delta int64) {
+	if c == nil || c.budget.MaxMemoryBytes <= 0 {
+		return
+	}
+	c.mem.Add(delta)
+}
+
+// MemUsed returns the currently accounted live payload bytes.
+func (c *Control) MemUsed() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.mem.Load()
+}
+
+// OverMemory reports whether the accounted payload exceeds the memory
+// budget. Miners that can degrade consult this at level boundaries.
+func (c *Control) OverMemory() bool {
+	if c == nil || c.budget.MaxMemoryBytes <= 0 {
+		return false
+	}
+	return c.mem.Load() > c.budget.MaxMemoryBytes
+}
+
+// CheckMemory stops the run with a memory BudgetError when the budget is
+// breached, returning the error; otherwise nil.
+func (c *Control) CheckMemory() error {
+	if !c.OverMemory() {
+		return nil
+	}
+	err := &BudgetError{Resource: "memory", Limit: c.budget.MaxMemoryBytes, Used: c.mem.Load()}
+	c.Stop(err)
+	return c.Cause()
+}
+
+// AddItemsets accounts n newly emitted frequent itemsets, stopping the
+// run with an itemsets BudgetError when the budget is breached.
+func (c *Control) AddItemsets(n int) error {
+	if c == nil || n == 0 {
+		return nil
+	}
+	total := c.items.Add(int64(n))
+	if c.budget.MaxItemsets > 0 && total > c.budget.MaxItemsets {
+		err := &BudgetError{Resource: "itemsets", Limit: c.budget.MaxItemsets, Used: total}
+		c.Stop(err)
+		return c.Cause()
+	}
+	return nil
+}
+
+// Itemsets returns the number of itemsets accounted so far.
+func (c *Control) Itemsets() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.items.Load()
+}

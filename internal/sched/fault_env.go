@@ -1,0 +1,91 @@
+//go:build faultinject
+
+package sched
+
+// Environment-driven fault injection, compiled only under the
+// `faultinject` build tag: binaries built with -tags faultinject arm the
+// chunk-boundary hook from the SCHED_FAULT environment variable, so an
+// operator can rehearse worker failures in a staging binary without
+// writing code. Release builds (no tag) do not contain this installer.
+//
+// SCHED_FAULT grammar (comma-separated directives):
+//
+//	panic:<seq>        panic at the <seq>-th chunk boundary
+//	delay:<seq>:<ms>   sleep <ms> milliseconds at the <seq>-th boundary
+//	cancel:<seq>       stop the run (context.Canceled) at the <seq>-th boundary
+//
+// Example: SCHED_FAULT=delay:3:50,panic:10
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func init() {
+	plan := os.Getenv("SCHED_FAULT")
+	if plan == "" {
+		return
+	}
+	hook, err := ParseFaultPlan(plan)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sched: ignoring SCHED_FAULT: %v\n", err)
+		return
+	}
+	SetFaultHook(hook)
+}
+
+// ParseFaultPlan compiles a SCHED_FAULT directive string into a fault
+// hook. Exposed for the tag-gated tests.
+func ParseFaultPlan(plan string) (func(FaultContext), error) {
+	type action struct {
+		kind  string
+		delay time.Duration
+	}
+	actions := map[int64]action{}
+	for _, dir := range strings.Split(plan, ",") {
+		parts := strings.Split(strings.TrimSpace(dir), ":")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("bad directive %q", dir)
+		}
+		seq, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil || seq < 1 {
+			return nil, fmt.Errorf("bad chunk sequence in %q", dir)
+		}
+		switch parts[0] {
+		case "panic", "cancel":
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("bad directive %q", dir)
+			}
+			actions[seq] = action{kind: parts[0]}
+		case "delay":
+			if len(parts) != 3 {
+				return nil, fmt.Errorf("bad directive %q", dir)
+			}
+			ms, err := strconv.Atoi(parts[2])
+			if err != nil || ms < 0 {
+				return nil, fmt.Errorf("bad delay in %q", dir)
+			}
+			actions[seq] = action{kind: "delay", delay: time.Duration(ms) * time.Millisecond}
+		default:
+			return nil, fmt.Errorf("unknown fault kind in %q", dir)
+		}
+	}
+	return func(fc FaultContext) {
+		a, ok := actions[fc.Seq]
+		if !ok {
+			return
+		}
+		switch a.kind {
+		case "panic":
+			panic(fmt.Sprintf("sched: injected fault at chunk %d [%d,%d) worker %d", fc.Seq, fc.Lo, fc.Hi, fc.Worker))
+		case "delay":
+			time.Sleep(a.delay)
+		case "cancel":
+			fc.Control.Stop(context.Canceled)
+		}
+	}, nil
+}

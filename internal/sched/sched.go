@@ -12,8 +12,11 @@ package sched
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/runctl"
 )
 
 // Policy names an OpenMP loop schedule.
@@ -224,72 +227,179 @@ func NewTeam(n int) *Team {
 // Workers returns the team size.
 func (t *Team) Workers() int { return t.workers }
 
+// cancelStride bounds how many iterations a worker runs between stop
+// checks inside one chunk, so a cancelled run unwinds promptly even
+// under schedule(static, 0), whose chunks span 1/p of the whole loop.
+// The check is one atomic load; at this stride it is noise next to the
+// set-intersection work of a single iteration.
+const cancelStride = 256
+
+// loopState is the per-loop shared unwinding state: the run's Control
+// (may be nil) plus a loop-local latch for recovered panics, so panic
+// containment works even for loops without run control.
+type loopState struct {
+	rc       *runctl.Control
+	panicErr atomic.Pointer[runctl.WorkerPanicError]
+}
+
+// stopped is the worker fast path: one or two atomic loads.
+func (ls *loopState) stopped() bool {
+	return ls.panicErr.Load() != nil || ls.rc.Stopped()
+}
+
+// recover converts a body panic into a WorkerPanicError, latches it, and
+// stops the run so sibling workers drain at their next check.
+func (ls *loopState) recover(w int) {
+	if r := recover(); r != nil {
+		perr := &runctl.WorkerPanicError{Value: r, Worker: w, Stack: debug.Stack()}
+		ls.panicErr.CompareAndSwap(nil, perr)
+		ls.rc.Stop(perr)
+	}
+}
+
+// err returns the loop's outcome: a contained panic wins over a budget
+// or cancellation stop, which wins over success.
+func (ls *loopState) err() error {
+	if perr := ls.panicErr.Load(); perr != nil {
+		return perr
+	}
+	return ls.rc.Cause()
+}
+
+// runWorker drains chunks for worker w until the chunker is empty or the
+// loop stops. Stop checks run at every chunk boundary and every
+// cancelStride iterations within a chunk; the fault-injection hook (see
+// fault.go) fires at each chunk boundary.
+func (ls *loopState) runWorker(w int, ch Chunker, body func(worker, i int)) {
+	defer ls.recover(w)
+	for {
+		if ls.stopped() {
+			return
+		}
+		lo, hi, ok := ch.Next(w)
+		if !ok {
+			return
+		}
+		injectFault(w, lo, hi, ls.rc)
+		for lo < hi {
+			end := lo + cancelStride
+			if end > hi {
+				end = hi
+			}
+			for i := lo; i < end; i++ {
+				body(w, i)
+			}
+			lo = end
+			if lo < hi && ls.stopped() {
+				return
+			}
+		}
+	}
+}
+
+// ForCtx executes body(worker, i) for every i in [0, n) under schedule
+// s, like For, but threads a run control: when rc is cancelled, stopped
+// or over budget, workers drain at their next chunk boundary (or within
+// cancelStride iterations inside a chunk) and ForCtx returns rc's stop
+// cause with the remaining iterations unrun. A panic in body is
+// contained: the panicking worker records a *runctl.WorkerPanicError,
+// the remaining chunks are cancelled, the team drains cleanly, and the
+// error is returned instead of crashing the process.
+//
+// rc may be nil, which disables cancellation and budgets but keeps
+// panic containment. A nil return value means every iteration ran.
+func (t *Team) ForCtx(rc *runctl.Control, n int, s Schedule, body func(worker, i int)) error {
+	ls := &loopState{rc: rc}
+	if err := rc.Err(); err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	p := t.workers
+	if p > n {
+		p = n
+	}
+	ch := NewChunker(n, p, s)
+	if p == 1 {
+		ls.runWorker(0, ch, body)
+		return ls.err()
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			ls.runWorker(w, ch, body)
+		}(w)
+	}
+	wg.Wait()
+	return ls.err()
+}
+
 // For executes body(worker, i) for every i in [0, n) under schedule s.
 // Iterations within a chunk run in order on one worker; chunks run
 // concurrently across workers. For returns when every iteration has
-// completed. body must not panic; a panic propagates and poisons the team.
+// completed. A panic in body is recovered, the team drains, and the
+// panic is re-raised as a *runctl.WorkerPanicError on the caller's
+// goroutine; use ForCtx to receive it as an error instead.
 func (t *Team) For(n int, s Schedule, body func(worker, i int)) {
-	if n == 0 {
-		return
+	if err := t.ForCtx(nil, n, s, body); err != nil {
+		panic(err)
 	}
-	p := t.workers
-	if p > n {
-		p = n
-	}
-	if p == 1 {
-		for i := 0; i < n; i++ {
-			body(0, i)
-		}
-		return
-	}
-	ch := NewChunker(n, p, s)
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for w := 0; w < p; w++ {
-		go func(w int) {
-			defer wg.Done()
-			for {
-				lo, hi, ok := ch.Next(w)
-				if !ok {
-					return
-				}
-				for i := lo; i < hi; i++ {
-					body(w, i)
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
 }
 
-// ForChunks is like For but hands whole chunks to the body, for callers
-// that amortize per-chunk setup (e.g. scratch buffers sized once).
-func (t *Team) ForChunks(n int, s Schedule, body func(worker, lo, hi int)) {
+// ForChunksCtx is ForCtx over whole chunks: the body receives [lo, hi)
+// ranges, for callers that amortize per-chunk setup (e.g. scratch
+// buffers sized once). Stop checks and fault injection run at chunk
+// boundaries only — a chunk is the unit of cancellation here.
+func (t *Team) ForChunksCtx(rc *runctl.Control, n int, s Schedule, body func(worker, lo, hi int)) error {
+	ls := &loopState{rc: rc}
+	if err := rc.Err(); err != nil {
+		return err
+	}
 	if n == 0 {
-		return
+		return nil
 	}
 	p := t.workers
 	if p > n {
 		p = n
 	}
-	if p == 1 {
-		body(0, 0, n)
-		return
-	}
 	ch := NewChunker(n, p, s)
+	run := func(w int) {
+		defer ls.recover(w)
+		for {
+			if ls.stopped() {
+				return
+			}
+			lo, hi, ok := ch.Next(w)
+			if !ok {
+				return
+			}
+			injectFault(w, lo, hi, ls.rc)
+			body(w, lo, hi)
+		}
+	}
+	if p == 1 {
+		run(0)
+		return ls.err()
+	}
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for w := 0; w < p; w++ {
 		go func(w int) {
 			defer wg.Done()
-			for {
-				lo, hi, ok := ch.Next(w)
-				if !ok {
-					return
-				}
-				body(w, lo, hi)
-			}
+			run(w)
 		}(w)
 	}
 	wg.Wait()
+	return ls.err()
+}
+
+// ForChunks is like For but hands whole chunks to the body. Panics are
+// contained and re-raised like For's.
+func (t *Team) ForChunks(n int, s Schedule, body func(worker, lo, hi int)) {
+	if err := t.ForChunksCtx(nil, n, s, body); err != nil {
+		panic(err)
+	}
 }

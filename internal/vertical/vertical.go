@@ -232,6 +232,58 @@ func (diffsetRep) CombineSupport(px, py Node) int {
 	return a.sup - b.Diff.DiffSize(a.Diff)
 }
 
+// Degradable reports whether a run over kind can degrade to diffsets
+// mid-run when its memory budget is crossed. Diffset needs no cure and
+// Hybrid already switches per node, so only the two representations the
+// paper shows blowing past one blade (§V-A) qualify.
+func Degradable(kind Kind) bool { return kind == Tidset || kind == Bitvector }
+
+// DegradeChild converts a tidset or bitvector node into the equivalent
+// DiffsetNode relative to its generation parent: d(X) = t(parent) −
+// t(X), the standard diffset layout, so subsequent sibling Combines
+// under diffsetRep are exact. Returns nil for kinds Degradable rejects.
+//
+// This is the engine's adaptive application of the paper's own remedy:
+// when the breadth-first payload footprint crosses the run's memory
+// budget, a level of tidsets/bitvectors is rewritten in place as
+// diffsets and the run continues under the bounded representation.
+func DegradeChild(parent, child Node) Node {
+	switch c := child.(type) {
+	case *TidsetNode:
+		p := parent.(*TidsetNode)
+		return &DiffsetNode{Diff: p.TIDs.Diff(c.TIDs), sup: len(c.TIDs)}
+	case *BitvectorNode:
+		p := parent.(*BitvectorNode)
+		return &DiffsetNode{Diff: p.Bits.AndNot(c.Bits).TIDs(), sup: c.sup}
+	}
+	return nil
+}
+
+// DegradeRoot converts a level-1 tidset or bitvector node into diffset
+// form relative to the transaction universe, d(x) = D − t(x), matching
+// diffsetRep.Roots. Returns nil for kinds Degradable rejects.
+func DegradeRoot(n Node, universe int) Node {
+	switch c := n.(type) {
+	case *TidsetNode:
+		return &DiffsetNode{Diff: c.TIDs.Complement(universe), sup: len(c.TIDs)}
+	case *BitvectorNode:
+		return &DiffsetNode{Diff: c.Bits.Not().TIDs(), sup: c.sup}
+	}
+	return nil
+}
+
+// NodesBytes sums the payload footprint of a node slice (nil entries
+// allowed), the quantity the run-control memory budget accounts.
+func NodesBytes(nodes []Node) int64 {
+	var b int64
+	for _, n := range nodes {
+		if n != nil {
+			b += int64(n.Bytes())
+		}
+	}
+	return b
+}
+
 // CombineCost returns the number of bytes Combine reads from its parents:
 // the quantity charged as communication when a parent lives on a remote
 // NUMA node. It is simply the sum of the parents' footprints.

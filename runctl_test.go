@@ -1,0 +1,339 @@
+package fim
+
+// Acceptance tests for the run-control layer: cooperative cancellation,
+// resource budgets with degradation, and panic containment, driven
+// end-to-end through MineContext on all three miners.
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// runctlDB builds the dense chess workload the run-control tests share:
+// big enough for several Apriori generations and many scheduler chunks,
+// small enough to mine in milliseconds.
+func runctlDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := Dataset("chess", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// assertExactSupports recounts every reported itemset against the raw
+// database: a stopped or degraded run may be missing itemsets, but
+// everything it does report must carry its true support.
+func assertExactSupports(t *testing.T, db *DB, res *Result) {
+	t.Helper()
+	counts := res.Decoded()
+	if len(counts) > 300 {
+		counts = counts[:300] // recounting is quadratic; a sample suffices
+	}
+	for _, c := range counts {
+		got := 0
+		for _, tr := range db.Transactions {
+			if c.Items.IsSubsetOf(tr) {
+				got++
+			}
+		}
+		if got != c.Support {
+			t.Fatalf("itemset %v: reported support %d, true support %d", c.Items, c.Support, got)
+		}
+	}
+}
+
+// TestMineContextCancelPromptly cancels the context at the third
+// scheduler chunk and asserts the run unwinds within the workers'
+// in-flight chunks, returning context.Canceled and a well-formed partial
+// Result.
+func TestMineContextCancelPromptly(t *testing.T) {
+	defer sched.SetFaultHook(nil)
+	db := runctlDB(t)
+	for _, algo := range []Algorithm{Apriori, Eclat, FPGrowth} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var after atomic.Int64
+		sched.SetFaultHook(func(fc sched.FaultContext) {
+			if fc.Control.Stopped() {
+				after.Add(1)
+				return
+			}
+			if fc.Seq == 3 {
+				cancel()
+				// The context watcher raises the stop flag from its own
+				// goroutine; wait for it so the count below is exact.
+				for !fc.Control.Stopped() {
+					time.Sleep(10 * time.Microsecond)
+				}
+			}
+		})
+
+		opt := Options{Algorithm: algo, Representation: Tidset, Workers: 2}
+		res, err := MineContext(ctx, db, 0.5, opt)
+		cancel()
+		sched.SetFaultHook(nil)
+
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: err = %v, want context.Canceled", algo, err)
+		}
+		if res == nil {
+			t.Fatalf("%v: nil partial result", algo)
+		}
+		if !res.Incomplete {
+			t.Errorf("%v: Incomplete not set on cancelled run", algo)
+		}
+		if !errors.Is(res.StopCause, context.Canceled) {
+			t.Errorf("%v: StopCause = %v", algo, res.StopCause)
+		}
+		// "Promptly": once the stop flag is up, each worker may already
+		// have one chunk in flight, but no more than that.
+		if a := after.Load(); a > int64(opt.Workers) {
+			t.Errorf("%v: %d chunks started after cancellation", algo, a)
+		}
+		assertExactSupports(t, db, res)
+	}
+}
+
+// TestWorkerPanicContained injects a panic at a scheduler chunk boundary
+// in each of the three miners and asserts the process survives: the team
+// drains, and MineContext returns a *WorkerPanicError plus the partial
+// result.
+func TestWorkerPanicContained(t *testing.T) {
+	defer sched.SetFaultHook(nil)
+	db := runctlDB(t)
+	for _, algo := range []Algorithm{Apriori, Eclat, FPGrowth} {
+		sched.SetFaultHook(func(fc sched.FaultContext) {
+			if fc.Seq == 2 {
+				panic("injected worker fault")
+			}
+		})
+		res, err := MineContext(context.Background(), db, 0.5,
+			Options{Algorithm: algo, Representation: Tidset, Workers: 4})
+		sched.SetFaultHook(nil)
+
+		var perr *WorkerPanicError
+		if !errors.As(err, &perr) {
+			t.Fatalf("%v: err = %v, want *WorkerPanicError", algo, err)
+		}
+		if perr.Value != "injected worker fault" {
+			t.Errorf("%v: panic value = %v", algo, perr.Value)
+		}
+		if len(perr.Stack) == 0 {
+			t.Errorf("%v: no stack captured", algo)
+		}
+		if res == nil || !res.Incomplete {
+			t.Fatalf("%v: partial result missing or not marked Incomplete", algo)
+		}
+		assertExactSupports(t, db, res)
+	}
+}
+
+// TestDegradeToDiffsetCompletes is the headline budget scenario: an
+// Apriori tidset run on dense data whose level payloads blow past the
+// memory budget must switch to diffsets mid-run and still produce the
+// complete, exact answer.
+func TestDegradeToDiffsetCompletes(t *testing.T) {
+	db := runctlDB(t)
+	ref, err := Mine(db, 0.5, Options{Algorithm: Apriori, Representation: Diffset})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		res, err := MineContext(context.Background(), db, 0.5, Options{
+			Algorithm:        Apriori,
+			Representation:   Tidset,
+			Workers:          workers,
+			MaxMemoryBytes:   100 << 10, // well under the tidset level footprint
+			DegradeToDiffset: true,
+		})
+		if err != nil {
+			t.Fatalf("x%d: err = %v", workers, err)
+		}
+		if !res.Degraded {
+			t.Fatalf("x%d: run fit in 100KB without degrading; budget no longer binds", workers)
+		}
+		if res.Incomplete {
+			t.Fatalf("x%d: degraded run did not complete: %v", workers, res.StopCause)
+		}
+		if !res.Equal(ref) {
+			t.Errorf("x%d: degraded run disagrees with diffset reference", workers)
+		}
+	}
+}
+
+// TestDegradeBitvector: on this small dense database diffsets are
+// *larger* than the 80-byte bitvectors, so a tight budget must still
+// trigger the switch, and the run either completes or stops with a
+// typed *BudgetError — with exact supports for everything emitted
+// either way.
+func TestDegradeBitvector(t *testing.T) {
+	db := runctlDB(t)
+	res, err := MineContext(context.Background(), db, 0.5, Options{
+		Algorithm:        Apriori,
+		Representation:   Bitvector,
+		Workers:          2,
+		MaxMemoryBytes:   10 << 10,
+		DegradeToDiffset: true,
+	})
+	if res == nil || !res.Degraded {
+		t.Fatalf("run fit in 10KB without degrading (err=%v); budget no longer binds", err)
+	}
+	if err != nil {
+		var berr *BudgetError
+		if !errors.As(err, &berr) || berr.Resource != "memory" {
+			t.Fatalf("err = %v, want nil or memory *BudgetError", err)
+		}
+		if !res.Incomplete {
+			t.Error("budget-stopped run not marked Incomplete")
+		}
+	}
+	assertExactSupports(t, db, res)
+}
+
+// TestDegradeToDiffsetEclat: the same mid-run switch through Eclat's
+// class-by-class miner.
+func TestDegradeToDiffsetEclat(t *testing.T) {
+	db := runctlDB(t)
+	ref, err := Mine(db, 0.5, Options{Algorithm: Eclat, Representation: Diffset})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MineContext(context.Background(), db, 0.5, Options{
+		Algorithm:        Eclat,
+		Representation:   Tidset,
+		Workers:          2,
+		MaxMemoryBytes:   100 << 10,
+		DegradeToDiffset: true,
+	})
+	if err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("run fit in 100KB without degrading; budget no longer binds")
+	}
+	if !res.Equal(ref) {
+		t.Error("degraded eclat run disagrees with diffset reference")
+	}
+}
+
+// TestMemoryBudgetStops: the same breach without DegradeToDiffset fails
+// with a typed *BudgetError and a partial result whose supports are
+// exact.
+func TestMemoryBudgetStops(t *testing.T) {
+	db := runctlDB(t)
+	res, err := MineContext(context.Background(), db, 0.5, Options{
+		Algorithm:      Apriori,
+		Representation: Tidset,
+		Workers:        2,
+		MaxMemoryBytes: 100 << 10,
+	})
+	var berr *BudgetError
+	if !errors.As(err, &berr) {
+		t.Fatalf("err = %v, want *BudgetError", err)
+	}
+	if berr.Resource != "memory" {
+		t.Errorf("Resource = %q, want memory", berr.Resource)
+	}
+	if berr.Used <= berr.Limit {
+		t.Errorf("BudgetError reports used %d within limit %d", berr.Used, berr.Limit)
+	}
+	if res == nil || !res.Incomplete || res.Len() == 0 {
+		t.Fatal("partial result missing, empty, or not marked Incomplete")
+	}
+	assertExactSupports(t, db, res)
+}
+
+// TestMaxItemsetsStops across all three miners.
+func TestMaxItemsetsStops(t *testing.T) {
+	db := runctlDB(t)
+	for _, algo := range []Algorithm{Apriori, Eclat, FPGrowth} {
+		res, err := MineContext(context.Background(), db, 0.5, Options{
+			Algorithm:      algo,
+			Representation: Diffset,
+			MaxItemsets:    20,
+		})
+		var berr *BudgetError
+		if !errors.As(err, &berr) || berr.Resource != "itemsets" {
+			t.Fatalf("%v: err = %v, want itemsets *BudgetError", algo, err)
+		}
+		if res == nil || !res.Incomplete {
+			t.Fatalf("%v: partial result missing or not marked Incomplete", algo)
+		}
+		assertExactSupports(t, db, res)
+	}
+}
+
+// TestMaxDurationStops uses an injected per-chunk delay so the deadline
+// reliably lands mid-run regardless of host speed.
+func TestMaxDurationStops(t *testing.T) {
+	defer sched.SetFaultHook(nil)
+	sched.SetFaultHook(func(sched.FaultContext) { time.Sleep(5 * time.Millisecond) })
+	db := runctlDB(t)
+	res, err := MineContext(context.Background(), db, 0.5, Options{
+		Algorithm:      Apriori,
+		Representation: Tidset,
+		Workers:        2,
+		MaxDuration:    15 * time.Millisecond,
+	})
+	sched.SetFaultHook(nil)
+	var berr *BudgetError
+	if !errors.As(err, &berr) || berr.Resource != "duration" {
+		t.Fatalf("err = %v, want duration *BudgetError", err)
+	}
+	if res == nil || !res.Incomplete {
+		t.Fatal("partial result missing or not marked Incomplete")
+	}
+	assertExactSupports(t, db, res)
+}
+
+// TestMineContextDeadline: a context deadline behaves like cancellation,
+// surfacing context.DeadlineExceeded.
+func TestMineContextDeadline(t *testing.T) {
+	defer sched.SetFaultHook(nil)
+	sched.SetFaultHook(func(sched.FaultContext) { time.Sleep(5 * time.Millisecond) })
+	db := runctlDB(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	res, err := MineContext(ctx, db, 0.5, Options{
+		Algorithm:      Eclat,
+		Representation: Tidset,
+		Workers:        2,
+	})
+	sched.SetFaultHook(nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if res == nil || !res.Incomplete {
+		t.Fatal("partial result missing or not marked Incomplete")
+	}
+	assertExactSupports(t, db, res)
+}
+
+// TestMineContextCompleteRunUnaffected: a run that fits its budgets is
+// byte-for-byte the same as an uncontrolled one.
+func TestMineContextCompleteRunUnaffected(t *testing.T) {
+	db := runctlDB(t)
+	ref, err := Mine(db, 0.5, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions(2)
+	opt.MaxMemoryBytes = 1 << 30
+	opt.MaxItemsets = 1 << 30
+	opt.MaxDuration = time.Hour
+	res, err := MineContext(context.Background(), db, 0.5, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incomplete || res.Degraded {
+		t.Fatal("in-budget run marked Incomplete or Degraded")
+	}
+	if !res.Equal(ref) {
+		t.Error("budgeted run disagrees with unbudgeted reference")
+	}
+}
