@@ -1,0 +1,90 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/datasets"
+	"repro/internal/obs/export"
+)
+
+// benchConfigs is the standardized real-hardware benchmark matrix: the
+// paper's two dense datasets at their default supports, the preferred
+// configuration of each algorithm family. Frozen so BENCH_*.json files
+// from different commits stay comparable.
+var benchConfigs = []struct {
+	algo fim.Algorithm
+	rep  fim.Representation
+}{
+	{fim.Apriori, fim.Diffset},
+	{fim.Eclat, fim.Diffset},
+	{fim.FPGrowth, fim.Diffset},
+}
+
+var benchDatasets = []string{"chess", "mushroom"}
+
+// runBenchJSON runs the standardized suite on the host (real wall
+// clock, not the simulator) and writes a fim-bench/v1 document to path.
+// Peak live payload bytes come from the run's observer stream; each
+// (dataset, config, threads) cell runs reps times and every rep is
+// recorded, so consumers can aggregate however they like.
+func runBenchJSON(path string, threads []int, scale float64, reps int) error {
+	if len(threads) == 0 {
+		threads = []int{1, 2, 4}
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	var results []export.Bench
+	for _, name := range benchDatasets {
+		ds, err := datasets.Get(name)
+		if err != nil {
+			return err
+		}
+		db := ds.Build(scale * ds.ExperimentScale)
+		for _, c := range benchConfigs {
+			for _, th := range threads {
+				for rep := 1; rep <= reps; rep++ {
+					b := export.NewReportBuilder()
+					opt := fim.Options{
+						Algorithm:      c.algo,
+						Representation: c.rep,
+						Workers:        th,
+						Observer:       b,
+					}
+					start := time.Now()
+					res, err := fim.Mine(db, ds.DefaultSupport, opt)
+					if err != nil {
+						return fmt.Errorf("fimbench: %s/%s x%d: %w", name, c.algo, th, err)
+					}
+					wall := time.Since(start)
+					report := b.Report()
+					results = append(results, export.Bench{
+						Schema:         export.BenchSchema,
+						Dataset:        name,
+						Algorithm:      c.algo.String(),
+						Representation: c.rep.String(),
+						Threads:        th,
+						Rep:            rep,
+						WallSeconds:    wall.Seconds(),
+						PeakBytes:      report.PeakLiveBytes,
+						Itemsets:       int64(res.Len()),
+					})
+					fmt.Fprintf(os.Stderr, "bench %s %s/%s x%d rep%d: %.3fs peak=%d itemsets=%d\n",
+						name, c.algo, c.rep, th, rep, wall.Seconds(), report.PeakLiveBytes, res.Len())
+				}
+			}
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := export.WriteBenchFile(f, export.NewBenchFile(results)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -7,6 +7,12 @@
 //	fimbench -exp all
 //	fimbench -exp table2+fig5 -scale 0.25
 //	fimbench -exp eclat-tidset -threads 1,16,64,256
+//	fimbench -json results/BENCH_bench.json -scale 0.4
+//
+// -json skips the simulator entirely: it times the standardized suite
+// (chess and mushroom at their default supports, Apriori/Eclat over
+// diffsets plus FP-growth, across -threads) on the host and writes the
+// fim-bench/v1 result document, the format future commits diff against.
 //
 // Experiments: table1, table2+fig5 (apriori-diffset), table3+fig6
 // (eclat-tidset), table6+fig7 (eclat-bitvector), table5+fig8
@@ -31,7 +37,9 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see doc comment)")
 	csv := flag.Bool("csv", false, "emit scalability tables as plot-ready CSV")
 	scale := flag.Float64("scale", experiments.DefaultScale, "dataset scale factor")
-	threadsFlag := flag.String("threads", "", "comma-separated thread counts (default 1,16,32,64,128,256)")
+	threadsFlag := flag.String("threads", "", "comma-separated thread counts (default 1,16,32,64,128,256; 1,2,4 for -json)")
+	jsonPath := flag.String("json", "", "run the standardized real-hardware bench suite and write fim-bench/v1 JSON to this file (e.g. results/BENCH_bench.json)")
+	benchReps := flag.Int("reps", 1, "repetitions per -json bench cell")
 	flag.Parse()
 
 	cfg := experiments.Config{Scale: *scale}
@@ -44,6 +52,14 @@ func main() {
 			}
 			cfg.Threads = append(cfg.Threads, t)
 		}
+	}
+
+	if *jsonPath != "" {
+		if err := runBenchJSON(*jsonPath, cfg.Threads, *scale, *benchReps); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	printTable := func(t *experiments.Table) {

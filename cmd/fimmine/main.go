@@ -13,9 +13,18 @@
 // breached -max-memory-mb/-max-itemsets budget) stops mining at the next
 // chunk boundary and the command prints whatever complete levels were
 // mined, a summary marked INCOMPLETE, and the stop reason, exiting 1.
+//
+// Observability: -progress prints live level-by-level progress,
+// -events writes the structured JSON-lines event stream, -report writes
+// the final fim-run-report/v1 JSON document, and -metrics-addr serves
+// the live report snapshot plus expvar and pprof over HTTP. Itemsets
+// and rules are the only stdout output; every diagnostic (summary,
+// progress, stop reason, metrics address) goes to stderr, so piped
+// stdout stays clean.
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -25,6 +34,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obs/export"
 )
 
 func main() {
@@ -46,6 +56,10 @@ func main() {
 	maxItemsets := flag.Int64("max-itemsets", 0, "stop after emitting this many itemsets (0 = unlimited)")
 	timeout := flag.Duration("timeout", 0, "stop after this long (0 = unlimited)")
 	degrade := flag.Bool("degrade", false, "on memory-budget breach, degrade tidset/bitvector runs to diffsets instead of stopping")
+	progress := flag.Bool("progress", false, "print live level-by-level progress to stderr")
+	eventsPath := flag.String("events", "", "write the run's JSON-lines event stream to this file")
+	reportPath := flag.String("report", "", "write the machine-readable run report (fim-run-report/v1) to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve the live report, expvar and pprof over HTTP on this address (e.g. :8080; :0 picks a port)")
 	flag.Parse()
 
 	db, err := loadDB(*file, *dsName, *scale)
@@ -69,6 +83,37 @@ func main() {
 	opt.MaxDuration = *timeout
 	opt.DegradeToDiffset = *degrade
 
+	// Observer sinks: progress printer (stderr), JSON-lines event file,
+	// and a report builder feeding -report and the HTTP endpoint.
+	var sinks []fim.Observer
+	if *progress {
+		sinks = append(sinks, export.NewProgress(os.Stderr))
+	}
+	var events *export.JSONLines
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		events = export.NewJSONLines(f)
+		sinks = append(sinks, events)
+	}
+	var builder *export.ReportBuilder
+	if *reportPath != "" || *metricsAddr != "" {
+		builder = export.NewReportBuilder()
+		sinks = append(sinks, builder)
+	}
+	opt.Observer = fim.MultiObserver(sinks...)
+	if *metricsAddr != "" {
+		srv, err := export.Serve(*metricsAddr, builder)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "fimmine: serving metrics on http://%s/\n", srv.Addr())
+	}
+
 	// SIGINT/SIGTERM cancel the mining context; the miners drain at the
 	// next chunk boundary and return the partial result.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -89,8 +134,13 @@ func main() {
 		counts = decodeAll(res, fim.MaximalItemsets(res))
 	}
 	if !*quiet {
+		// Itemsets stream buffered to stdout; diagnostics stay on stderr.
+		out := bufio.NewWriter(os.Stdout)
 		for _, c := range counts {
-			fmt.Printf("%v #%d\n", c.Items, c.Support)
+			fmt.Fprintf(out, "%v #%d\n", c.Items, c.Support)
+		}
+		if err := out.Flush(); err != nil {
+			fatal(err)
 		}
 	}
 	status := ""
@@ -113,9 +163,30 @@ func main() {
 			fmt.Println(fim.DecodeRule(res, r))
 		}
 	}
+	if events != nil && events.Err() != nil {
+		fmt.Fprintf(os.Stderr, "fimmine: writing -events file: %v\n", events.Err())
+	}
+	if *reportPath != "" {
+		if err := writeReportFile(*reportPath, builder); err != nil {
+			fatal(err)
+		}
+	}
 	if res.Incomplete {
 		os.Exit(1)
 	}
+}
+
+// writeReportFile finalizes the builder's report and writes it to path.
+func writeReportFile(path string, b *export.ReportBuilder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := export.WriteReport(f, b.Report()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadDB(file, dsName string, scale float64) (*fim.DB, error) {

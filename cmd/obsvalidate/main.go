@@ -1,0 +1,81 @@
+// Command obsvalidate checks observability artifacts against their
+// schemas: a JSON-lines event stream (fimmine -events), a run report
+// (fimmine -report, fim-run-report/v1), and a benchmark result file
+// (fimbench -json, fim-bench/v1). CI runs it over the artifacts of a
+// short instrumented mine; exit status is non-zero on the first
+// violation.
+//
+// Usage:
+//
+//	obsvalidate -events run.jsonl -report run.json -bench results/BENCH_bench.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs/export"
+)
+
+func main() {
+	eventsPath := flag.String("events", "", "JSON-lines event stream to validate")
+	reportPath := flag.String("report", "", "fim-run-report/v1 document to validate")
+	benchPath := flag.String("bench", "", "fim-bench/v1 document to validate")
+	flag.Parse()
+
+	if *eventsPath == "" && *reportPath == "" && *benchPath == "" {
+		fmt.Fprintln(os.Stderr, "obsvalidate: nothing to validate (pass -events, -report and/or -bench)")
+		os.Exit(2)
+	}
+	checked := 0
+	if *eventsPath != "" {
+		f, err := os.Open(*eventsPath)
+		if err != nil {
+			fatal(err)
+		}
+		events, err := export.DecodeLines(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("obsvalidate: %s: %w", *eventsPath, err))
+		}
+		if err := export.ValidateEvents(events); err != nil {
+			fatal(fmt.Errorf("obsvalidate: %s: %w", *eventsPath, err))
+		}
+		fmt.Printf("%s: %d events, stream valid\n", *eventsPath, len(events))
+		checked++
+	}
+	if *reportPath != "" {
+		f, err := os.Open(*reportPath)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := export.ReadReport(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("obsvalidate: %s: %w", *reportPath, err))
+		}
+		fmt.Printf("%s: %s %s x%d, %d levels, %d itemsets, report valid\n",
+			*reportPath, rep.Schema, rep.Algorithm, rep.Workers, len(rep.Levels), rep.Itemsets)
+		checked++
+	}
+	if *benchPath != "" {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			fatal(err)
+		}
+		bf, err := export.ReadBenchFile(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("obsvalidate: %s: %w", *benchPath, err))
+		}
+		fmt.Printf("%s: %s, %d results, bench file valid\n", *benchPath, bf.Schema, len(bf.Results))
+		checked++
+	}
+	fmt.Printf("obsvalidate: %d artifact(s) valid\n", checked)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -28,6 +28,7 @@ package fim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/eclat"
 	"repro/internal/fpgrowth"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/runctl"
 	"repro/internal/sched"
@@ -87,7 +89,39 @@ type (
 	MachineConfig = machine.Config
 	// SchedulePolicy names an OpenMP-style loop schedule.
 	SchedulePolicy = sched.Policy
+	// Observer receives the structured event stream of a mining run
+	// (Options.Observer). Implementations must be safe for concurrent
+	// use. See internal/obs for the event vocabulary and obs/export for
+	// ready-made sinks (JSON lines, live progress, run reports, HTTP).
+	Observer = obs.Observer
+	// Event is one observation in the stream; Event.Type says which
+	// fields are meaningful.
+	Event = obs.Event
+	// EventType names an event kind ("run_start", "level_end", ...).
+	EventType = obs.Type
+	// WorkerLoad is one worker's share of a scheduler loop, carried by
+	// phase_end events.
+	WorkerLoad = obs.WorkerLoad
+	// EventRecorder is an Observer that retains every event in order —
+	// the simplest sink.
+	EventRecorder = obs.Recorder
 )
+
+// The event kinds, re-exported from internal/obs.
+const (
+	EventRunStart      = obs.RunStart
+	EventLevelStart    = obs.LevelStart
+	EventLevelEnd      = obs.LevelEnd
+	EventPhaseEnd      = obs.PhaseEnd
+	EventBudgetWarning = obs.BudgetWarning
+	EventDegraded      = obs.Degraded
+	EventStop          = obs.Stop
+	EventRunEnd        = obs.RunEnd
+)
+
+// MultiObserver fans the event stream out to several observers. Nil
+// entries are skipped; zero or one live observer keeps the cheap path.
+func MultiObserver(os ...Observer) Observer { return obs.Multi(os...) }
 
 // Loop schedule policies.
 const (
@@ -127,6 +161,18 @@ type Options struct {
 	LazyMaterialize bool
 	// Trace, when non-nil, records the run for NUMA replay via Simulate.
 	Trace *Trace
+	// Observer, when non-nil, receives the run's structured event stream
+	// live: run_start, level/class boundaries with candidate and
+	// frequent counts and live payload bytes, per-loop worker load with
+	// busy-time imbalance, budget warnings, degrade transitions, the
+	// stop cause, and run_end with totals and the peak footprint. A nil
+	// Observer costs the engine one branch per emit site.
+	Observer Observer
+	// BudgetWarnAt sets the budget fractions (ascending, each in (0,1))
+	// at which budget_warning events fire for the memory and itemsets
+	// budgets. Empty means {0.5, 0.8, 0.95}. Only consulted when
+	// Observer is set and the corresponding budget is non-zero.
+	BudgetWarnAt []float64
 
 	// Run control. Zero values mean "unlimited"; see the package
 	// documentation's "Run control" section and MineContext.
@@ -232,15 +278,84 @@ func MineAbsoluteContext(ctx context.Context, db *DB, minSupport int, opt Option
 		copt.Schedule = sched.Schedule{Policy: opt.SchedulePolicy, Chunk: opt.ScheduleChunk}
 		copt.HasSchedule = true
 	}
+	o := opt.Observer
+	if o != nil {
+		copt.Observer = o
+		copt.Metrics = sched.NewMetrics()
+		rc.TrackMemory()
+		fracs := opt.BudgetWarnAt
+		if len(fracs) == 0 {
+			fracs = []float64{0.5, 0.8, 0.95}
+		}
+		rc.SetWarnFunc(fracs, func(resource string, frac float64, used, limit int64) {
+			o.Event(obs.Event{Type: obs.BudgetWarning,
+				Resource: resource, Fraction: frac, Used: used, Limit: limit})
+		})
+		o.Event(obs.Event{Type: obs.RunStart,
+			Dataset:        db.Name,
+			Algorithm:      opt.Algorithm.String(),
+			Representation: opt.Representation.String(),
+			Workers:        opt.Workers,
+			MinSupport:     minSupport,
+			Transactions:   len(db.Transactions),
+		})
+	}
+	start := time.Now()
+	var res *Result
+	var err error
 	switch opt.Algorithm {
 	case core.Apriori:
-		return apriori.Mine(rec, minSupport, copt)
+		res, err = apriori.Mine(rec, minSupport, copt)
 	case core.Eclat:
-		return eclat.Mine(rec, minSupport, copt)
+		res, err = eclat.Mine(rec, minSupport, copt)
 	case core.FPGrowth:
-		return fpgrowth.Mine(rec, minSupport, copt)
+		res, err = fpgrowth.Mine(rec, minSupport, copt)
+	default:
+		return nil, fmt.Errorf("fim: unknown algorithm %v", opt.Algorithm)
 	}
-	return nil, fmt.Errorf("fim: unknown algorithm %v", opt.Algorithm)
+	if o != nil {
+		// Flush scheduler loops that finished after the last level
+		// boundary (early-stopped runs leave undrained phases behind).
+		core.EmitPhases(o, copt.Metrics)
+		if err != nil {
+			o.Event(obs.Event{Type: obs.Stop, Reason: StopReason(err), Err: err.Error()})
+		}
+		e := obs.Event{Type: obs.RunEnd,
+			Algorithm:     opt.Algorithm.String(),
+			ElapsedNS:     int64(time.Since(start)),
+			PeakLiveBytes: rc.PeakMem(),
+		}
+		if res != nil {
+			e.Itemsets = int64(res.Len())
+			e.MaxK = res.MaxK
+			e.Incomplete = res.Incomplete
+			e.DegradedRun = res.Degraded
+		}
+		o.Event(e)
+	}
+	return res, err
+}
+
+// StopReason classifies the error an incomplete run returned into the
+// stable reason strings carried by stop events: "worker-panic",
+// "budget:memory" / "budget:itemsets" / "budget:duration", "canceled",
+// "deadline", or "error" for anything else.
+func StopReason(err error) string {
+	var wp *runctl.WorkerPanicError
+	var be *runctl.BudgetError
+	switch {
+	case err == nil:
+		return ""
+	case errors.As(err, &wp):
+		return "worker-panic"
+	case errors.As(err, &be):
+		return "budget:" + be.Resource
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	}
+	return "error"
 }
 
 // DefaultOptions returns the paper's preferred configuration: parallel

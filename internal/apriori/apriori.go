@@ -26,9 +26,11 @@ package apriori
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/trie"
 	"repro/internal/vertical"
@@ -63,6 +65,9 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 	team := sched.NewTeam(opt.Workers)
 	col := opt.Collector
 	rc := opt.Control
+	o := opt.Observer
+	met := opt.Metrics
+	team.SetMetrics(met)
 
 	res := &core.Result{
 		Algorithm:      core.Apriori,
@@ -101,7 +106,7 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 	// degrade rewrites the newest level as diffsets (relative to each
 	// node's generation parent, so sibling joins stay exact) and switches
 	// the representation for the remaining generations.
-	degrade := func(level []vertical.Node, parentOf func(w int) vertical.Node) bool {
+	degrade := func(gen int, level []vertical.Node, parentOf func(w int) vertical.Node) bool {
 		if res.Degraded || !vertical.Degradable(rep.Kind()) {
 			return false
 		}
@@ -112,9 +117,13 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 		rc.ChargeMem(vertical.NodesBytes(level) - before)
 		rep = vertical.New(vertical.Diffset)
 		res.Degraded = true
+		obs.Emit(o, obs.Event{Type: obs.Degraded, Level: gen,
+			Representation: vertical.Diffset.String(), LiveBytes: rc.MemUsed()})
 		return true
 	}
 
+	obs.Emit(o, obs.Event{Type: obs.LevelStart, Level: 1, Phase: "apriori/roots",
+		Candidates: len(nodes)})
 	rc.ChargeMem(MemoryFootprint(nodes))
 	if err := rc.AddItemsets(len(nodes)); err != nil {
 		return collect(err)
@@ -128,24 +137,35 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 			rc.ChargeMem(MemoryFootprint(nodes) - before)
 			rep = vertical.New(vertical.Diffset)
 			res.Degraded = true
+			obs.Emit(o, obs.Event{Type: obs.Degraded, Level: 1,
+				Representation: vertical.Diffset.String(), LiveBytes: rc.MemUsed()})
 		} else if err := rc.CheckMemory(); err != nil {
 			return collect(err)
 		}
 	}
+	obs.Emit(o, obs.Event{Type: obs.LevelEnd, Level: 1, Phase: "apriori/roots",
+		Frequent: len(nodes), LiveBytes: rc.MemUsed()})
 
 	for gen := 1; tr.Levels[len(tr.Levels)-1].Len() != 0; gen++ {
 		if err := rc.Err(); err != nil {
 			return collect(err)
 		}
+		levelStart := time.Now()
 		cands := tr.Generate()
+		generated := cands.Len()
+		pruned := 0
 		if opt.Prune {
-			tr.Prune(cands)
+			pruned = tr.Prune(cands)
 		}
 		n := cands.Len()
 		if n == 0 {
 			break
 		}
-		phase := col.NewPhase(fmt.Sprintf("apriori/gen%d", gen+1), schedule, true, n)
+		phaseName := fmt.Sprintf("apriori/gen%d", gen+1)
+		obs.Emit(o, obs.Event{Type: obs.LevelStart, Level: gen + 1, Phase: phaseName,
+			Candidates: generated, Pruned: pruned})
+		met.Label(phaseName)
+		phase := col.NewPhase(phaseName, schedule, true, n)
 		// Serial overhead of generation + pruning: proportional to the
 		// candidate rows touched.
 		phase.AddSerial(int64(n) * 16)
@@ -178,6 +198,7 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 			rc.ChargeMem(int64(child.Bytes()))
 			phase.Add(i, cost+int64(child.Bytes()), cost, int64(child.Bytes()))
 		})
+		core.EmitPhases(o, met)
 		if err != nil {
 			return collect(err)
 		}
@@ -196,7 +217,9 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 			for w, i := range kept {
 				pxs[w], pys[w] = cands.Px[i], cands.Py[i]
 			}
-			mat := col.NewPhase(fmt.Sprintf("apriori/gen%d-materialize", gen+1), schedule, true, len(kept))
+			matName := fmt.Sprintf("apriori/gen%d-materialize", gen+1)
+			met.Label(matName)
+			mat := col.NewPhase(matName, schedule, true, len(kept))
 			if mat != nil {
 				mat.UniqueParent = MemoryFootprint(parents)
 			}
@@ -209,6 +232,7 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 				rc.ChargeMem(int64(child.Bytes()))
 				mat.Add(w, cost+int64(child.Bytes()), cost, int64(child.Bytes()))
 			})
+			core.EmitPhases(o, met)
 			if err != nil {
 				return collect(err)
 			}
@@ -227,7 +251,7 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 		// and its parents are still live — the generation's peak.
 		if rc.OverMemory() {
 			parents := nodes
-			ok := rc.Budget().DegradeToDiffset && degrade(next, func(w int) vertical.Node {
+			ok := rc.Budget().DegradeToDiffset && degrade(gen+1, next, func(w int) vertical.Node {
 				return parents[cands.Px[kept[w]]]
 			})
 			if !ok {
@@ -239,6 +263,9 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 		}
 		rc.ChargeMem(-MemoryFootprint(nodes)) // retire the parent level
 		nodes = next
+		obs.Emit(o, obs.Event{Type: obs.LevelEnd, Level: gen + 1, Phase: phaseName,
+			Candidates: n, Pruned: pruned, Frequent: level.Len(),
+			LiveBytes: rc.MemUsed(), ElapsedNS: int64(time.Since(levelStart))})
 	}
 
 	return collect(nil)

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/itemset"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/runctl"
 	"repro/internal/sched"
@@ -65,6 +66,16 @@ type Options struct {
 	// Collector, when non-nil, records the run's parallel structure for
 	// reporting and NUMA replay.
 	Collector *perf.Collector
+	// Observer, when non-nil, receives the run's structured event stream
+	// live: level/class boundaries with candidate and frequent counts,
+	// live payload bytes, degradations, and per-loop worker load. A nil
+	// Observer costs the miners one branch per emit site.
+	Observer obs.Observer
+	// Metrics, when non-nil, is attached to the miner's worker team and
+	// collects per-worker busy time, tasks and chunks for every
+	// scheduler loop; the miners forward each finished loop to Observer
+	// as a phase_end event.
+	Metrics *sched.Metrics
 	// Control, when non-nil, is the run-control handle: cooperative
 	// cancellation and resource budgets, checked by the scheduler at
 	// chunk boundaries and by the miners at level/class boundaries. A
@@ -95,6 +106,33 @@ type Options struct {
 // own default schedule.
 func DefaultOptions(rep vertical.Kind, workers int) Options {
 	return Options{Representation: rep, Workers: workers, Prune: true}
+}
+
+// EmitPhases forwards every scheduler loop finished since the last call
+// to the observer, one phase_end event per loop, carrying per-worker
+// busy time, tasks, chunks, and the max/mean busy-time imbalance. A nil
+// observer or metrics makes it a no-op; the miners call it at level
+// boundaries.
+func EmitPhases(o obs.Observer, m *sched.Metrics) {
+	if o == nil || m == nil {
+		return
+	}
+	for _, ps := range m.Drain() {
+		e := obs.Event{
+			Type:       obs.PhaseEnd,
+			Phase:      ps.Name,
+			Schedule:   ps.Schedule.String(),
+			Candidates: ps.N,
+			ElapsedNS:  int64(ps.Wall),
+			Imbalance:  ps.Imbalance(),
+		}
+		for w, ws := range ps.Workers {
+			e.Load = append(e.Load, obs.WorkerLoad{
+				Worker: w, BusyNS: int64(ws.Busy), Tasks: ws.Tasks, Chunks: ws.Chunks,
+			})
+		}
+		o.Event(e)
+	}
 }
 
 // ItemsetCount pairs an itemset with its support.

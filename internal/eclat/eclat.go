@@ -29,10 +29,13 @@ package eclat
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/itemset"
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/runctl"
 	"repro/internal/sched"
@@ -81,6 +84,9 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 	team := sched.NewTeam(opt.Workers)
 	col := opt.Collector
 	rc := opt.Control
+	o := opt.Observer
+	met := opt.Metrics
+	team.SetMetrics(met)
 
 	res := &core.Result{
 		Algorithm:      core.Eclat,
@@ -124,6 +130,8 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 		rc.ChargeMem(vertical.NodesBytes(roots) - before)
 		rep = vertical.New(vertical.Diffset)
 		res.Degraded = true
+		obs.Emit(o, obs.Event{Type: obs.Degraded, Level: 1,
+			Representation: vertical.Diffset.String(), LiveBytes: rc.MemUsed()})
 	}
 	if err := rc.Err(); err != nil {
 		return finish(err)
@@ -146,10 +154,10 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 	}
 	var err error
 	if depth == 1 {
-		err = mineDepth1(rep, roots, rootBytes, minSup, team, schedule, col, rc, private)
+		err = mineDepth1(rep, roots, rootBytes, minSup, team, schedule, col, rc, o, met, private)
 	} else {
 		m := &flattenedMiner{rep: rep, minSup: minSup, depth: depth, team: team,
-			schedule: schedule, col: col, rc: rc, res: res, private: private}
+			schedule: schedule, col: col, rc: rc, o: o, met: met, res: res, private: private}
 		err = m.run(roots, rootBytes)
 	}
 
@@ -168,14 +176,19 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 // first-level class.
 func mineDepth1(rep vertical.Representation, roots []vertical.Node, rootBytes int64,
 	minSup int, team *sched.Team, schedule sched.Schedule, col *perf.Collector,
-	rc *runctl.Control, private [][]core.ItemsetCount) error {
+	rc *runctl.Control, o obs.Observer, met *sched.Metrics,
+	private [][]core.ItemsetCount) error {
 
 	n := len(roots)
+	start := time.Now()
+	obs.Emit(o, obs.Event{Type: obs.LevelStart, Phase: "eclat/classes", Candidates: n})
+	met.Label("eclat/classes")
 	phase := col.NewPhase("eclat/classes", schedule, true, n)
 	if phase != nil {
 		phase.UniqueParent = rootBytes
 	}
-	return team.ForCtx(rc, n, schedule, func(w, i int) {
+	var emitted atomic.Int64
+	err := team.ForCtx(rc, n, schedule, func(w, i int) {
 		m := &minerState{rep: rep, minSup: minSup, phase: phase, task: i, rc: rc}
 		// The first-level combines read globally shared root data; the
 		// recursion below reads only worker-local payloads.
@@ -196,8 +209,16 @@ func mineDepth1(rep vertical.Representation, roots []vertical.Node, rootBytes in
 		}
 		m.recurse(prefix, class)
 		m.releaseAtoms(class)
+		emitted.Add(int64(len(m.out)))
 		private[w] = append(private[w], m.out...)
 	})
+	core.EmitPhases(o, met)
+	if err == nil {
+		obs.Emit(o, obs.Event{Type: obs.LevelEnd, Phase: "eclat/classes",
+			Candidates: n, Frequent: int(emitted.Load()),
+			LiveBytes: rc.MemUsed(), ElapsedNS: int64(time.Since(start))})
+	}
+	return err
 }
 
 // eqClass is one equivalence class of the flattened search: a shared
@@ -253,6 +274,8 @@ type flattenedMiner struct {
 	schedule sched.Schedule
 	col      *perf.Collector
 	rc       *runctl.Control
+	o        obs.Observer
+	met      *sched.Metrics
 	res      *core.Result
 	private  [][]core.ItemsetCount
 }
@@ -276,6 +299,8 @@ func (f *flattenedMiner) degradeClasses(classes []eqClass, parentOf func(c int) 
 	f.rc.ChargeMem(after - before)
 	f.rep = vertical.New(vertical.Diffset)
 	f.res.Degraded = true
+	obs.Emit(f.o, obs.Event{Type: obs.Degraded,
+		Representation: vertical.Diffset.String(), LiveBytes: f.rc.MemUsed()})
 }
 
 // maybeDegrade applies the memory-budget policy at a level boundary:
@@ -310,6 +335,10 @@ func (f *flattenedMiner) run(roots []vertical.Node, rootBytes int64) error {
 			p++
 		}
 	}
+	startA := time.Now()
+	obs.Emit(f.o, obs.Event{Type: obs.LevelStart, Level: 2, Phase: "eclat/pairs",
+		Candidates: nPairs})
+	f.met.Label("eclat/pairs")
 	phaseA := f.col.NewPhase("eclat/pairs", f.schedule, true, nPairs)
 	if phaseA != nil {
 		phaseA.UniqueParent = rootBytes
@@ -330,6 +359,7 @@ func (f *flattenedMiner) run(roots []vertical.Node, rootBytes int64) error {
 			})
 		}
 	})
+	core.EmitPhases(f.o, f.met)
 	if err != nil {
 		return err
 	}
@@ -342,6 +372,9 @@ func (f *flattenedMiner) run(roots []vertical.Node, rootBytes int64) error {
 	if err := f.rc.AddItemsets(nFreqPairs); err != nil {
 		return err
 	}
+	obs.Emit(f.o, obs.Event{Type: obs.LevelEnd, Level: 2, Phase: "eclat/pairs",
+		Candidates: nPairs, Frequent: nFreqPairs,
+		LiveBytes: f.rc.MemUsed(), ElapsedNS: int64(time.Since(startA))})
 
 	// Group the frequent pairs into classes, prefix {i}, atoms ascending.
 	byPrefix := make([][]atom, n)
@@ -374,11 +407,16 @@ func (f *flattenedMiner) run(roots []vertical.Node, rootBytes int64) error {
 
 	// Final stage: one depth-first recursion task per subtree.
 	tasks := expansions(classes)
+	startS := time.Now()
+	obs.Emit(f.o, obs.Event{Type: obs.LevelStart, Level: f.depth, Phase: "eclat/subtrees",
+		Candidates: len(tasks)})
+	f.met.Label("eclat/subtrees")
 	phase := f.col.NewPhase("eclat/subtrees", f.schedule, true, len(tasks))
 	if phase != nil {
 		phase.UniqueParent = maxClassBytes(classes)
 	}
 	rep = f.rep
+	var emitted atomic.Int64
 	err = f.team.ForCtx(f.rc, len(tasks), f.schedule, func(w, t int) {
 		e := tasks[t]
 		class := classes[e.class]
@@ -386,9 +424,16 @@ func (f *flattenedMiner) run(roots []vertical.Node, rootBytes int64) error {
 		sub := m.expandOne(class, int(e.pos))
 		m.recurse(class.prefix.Extend(class.atoms[e.pos].item), sub)
 		m.releaseAtoms(sub)
+		emitted.Add(int64(len(m.out)))
 		f.private[w] = append(f.private[w], m.out...)
 	})
+	core.EmitPhases(f.o, f.met)
 	f.rc.ChargeMem(-levelBytes(classes))
+	if err == nil {
+		obs.Emit(f.o, obs.Event{Type: obs.LevelEnd, Level: f.depth, Phase: "eclat/subtrees",
+			Candidates: len(tasks), Frequent: int(emitted.Load()),
+			LiveBytes: f.rc.MemUsed(), ElapsedNS: int64(time.Since(startS))})
+	}
 	return err
 }
 
@@ -410,7 +455,12 @@ func levelBytes(classes []eqClass) int64 {
 // is live, and the memory-budget policy runs at the boundary.
 func (f *flattenedMiner) expandLevel(classes []eqClass, memberSize int) ([]eqClass, error) {
 	tasks := expansions(classes)
-	phase := f.col.NewPhase(fmt.Sprintf("eclat/expand%d", memberSize), f.schedule, true, len(tasks))
+	start := time.Now()
+	phaseName := fmt.Sprintf("eclat/expand%d", memberSize)
+	obs.Emit(f.o, obs.Event{Type: obs.LevelStart, Level: memberSize, Phase: phaseName,
+		Candidates: len(tasks)})
+	f.met.Label(phaseName)
+	phase := f.col.NewPhase(phaseName, f.schedule, true, len(tasks))
 	if phase != nil {
 		phase.UniqueParent = maxClassBytes(classes)
 	}
@@ -426,6 +476,7 @@ func (f *flattenedMiner) expandLevel(classes []eqClass, memberSize int) ([]eqCla
 		}
 		f.private[w] = append(f.private[w], m.out...)
 	})
+	core.EmitPhases(f.o, f.met)
 	if err != nil {
 		return nil, err
 	}
@@ -443,6 +494,13 @@ func (f *flattenedMiner) expandLevel(classes []eqClass, memberSize int) ([]eqCla
 		return nil, err
 	}
 	f.rc.ChargeMem(-prevBytes)
+	freq := 0
+	for _, c := range out {
+		freq += len(c.atoms)
+	}
+	obs.Emit(f.o, obs.Event{Type: obs.LevelEnd, Level: memberSize, Phase: phaseName,
+		Candidates: len(tasks), Frequent: freq,
+		LiveBytes: f.rc.MemUsed(), ElapsedNS: int64(time.Since(start))})
 	return out, nil
 }
 

@@ -16,10 +16,13 @@ package fpgrowth
 
 import (
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/itemset"
+	"repro/internal/obs"
 	"repro/internal/runctl"
 	"repro/internal/sched"
 )
@@ -180,11 +183,18 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 	}
 	team := sched.NewTeam(opt.Workers)
 	workers := team.Workers()
+	o := opt.Observer
+	met := opt.Metrics
+	team.SetMetrics(met)
+	start := time.Now()
+	obs.Emit(o, obs.Event{Type: obs.LevelStart, Phase: "fpgrowth/items", Candidates: n})
+	met.Label("fpgrowth/items")
 	phase := opt.Collector.NewPhase("fpgrowth/items", schedule, false, n)
 
 	// Top-level parallel loop: one task per frequent item, growing its
 	// conditional subtree privately.
 	private := make([][]core.ItemsetCount, workers)
+	var emitted atomic.Int64
 	err := team.ForCtx(rc, n, schedule, func(w, i int) {
 		it := int32(i)
 		m := &grower{rank: rank, minSup: minSup, rc: rc}
@@ -198,8 +208,15 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 			rc.ChargeMem(-cond.bytes())
 		}
 		phase.Add(i, m.work, 0, m.work)
+		emitted.Add(int64(len(m.out)))
 		private[w] = append(private[w], m.out...)
 	})
+	core.EmitPhases(o, met)
+	if err == nil {
+		obs.Emit(o, obs.Event{Type: obs.LevelEnd, Phase: "fpgrowth/items",
+			Candidates: n, Frequent: int(emitted.Load()),
+			LiveBytes: rc.MemUsed(), ElapsedNS: int64(time.Since(start))})
+	}
 	for _, p := range private {
 		for _, c := range p {
 			res.Counts = append(res.Counts, c)

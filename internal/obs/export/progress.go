@@ -1,0 +1,73 @@
+package export
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Progress is an Observer that prints a human-readable line per event
+// to w — the sink behind fimmine -progress. It writes diagnostics only
+// (no itemsets), so pointing it at stderr keeps piped stdout clean. It
+// is safe for concurrent use.
+type Progress struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewProgress returns a progress printer writing to w.
+func NewProgress(w io.Writer) *Progress { return &Progress{w: w} }
+
+func (p *Progress) Event(e obs.Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch e.Type {
+	case obs.RunStart:
+		fmt.Fprintf(p.w, "run  %s/%s workers=%d dataset=%s minsup=%d transactions=%d\n",
+			e.Algorithm, e.Representation, e.Workers, e.Dataset, e.MinSupport, e.Transactions)
+	case obs.LevelStart:
+		if e.Pruned > 0 {
+			fmt.Fprintf(p.w, "  >> %-24s candidates=%d (pruned %d)\n", e.Phase, e.Candidates, e.Pruned)
+		} else {
+			fmt.Fprintf(p.w, "  >> %-24s candidates=%d\n", e.Phase, e.Candidates)
+		}
+	case obs.LevelEnd:
+		fmt.Fprintf(p.w, "  << %-24s frequent=%d live=%s elapsed=%v\n",
+			e.Phase, e.Frequent, fmtBytes(e.LiveBytes), time.Duration(e.ElapsedNS).Round(time.Microsecond))
+	case obs.PhaseEnd:
+		fmt.Fprintf(p.w, "     %-24s loop n=%d sched=%s wall=%v imbalance=%.2f\n",
+			e.Phase, e.Candidates, e.Schedule, time.Duration(e.ElapsedNS).Round(time.Microsecond), e.Imbalance)
+	case obs.BudgetWarning:
+		fmt.Fprintf(p.w, "  !! %s budget at %.0f%% (%d of %d)\n",
+			e.Resource, e.Fraction*100, e.Used, e.Limit)
+	case obs.Degraded:
+		fmt.Fprintf(p.w, "  !! degraded to %s at level %d (live=%s)\n",
+			e.Representation, e.Level, fmtBytes(e.LiveBytes))
+	case obs.Stop:
+		fmt.Fprintf(p.w, "  xx stopped: %s (%s)\n", e.Reason, e.Err)
+	case obs.RunEnd:
+		status := "complete"
+		if e.Incomplete {
+			status = "incomplete"
+		}
+		fmt.Fprintf(p.w, "done %s itemsets=%d maxk=%d peak=%s elapsed=%v\n",
+			status, e.Itemsets, e.MaxK, fmtBytes(e.PeakLiveBytes),
+			time.Duration(e.ElapsedNS).Round(time.Millisecond))
+	}
+}
+
+// fmtBytes renders a byte count with a binary unit suffix.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}

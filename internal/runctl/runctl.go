@@ -88,13 +88,24 @@ func (e *WorkerPanicError) Unwrap() error {
 // Control is one run's cancellation and budget state. Construct with
 // New and release with Close; a nil *Control disables run control.
 type Control struct {
-	budget  Budget
-	stopped atomic.Bool
-	mem     atomic.Int64
-	items   atomic.Int64
+	budget   Budget
+	trackMem bool
+	stopped  atomic.Bool
+	mem      atomic.Int64
+	peak     atomic.Int64
+	items    atomic.Int64
 
 	mu    sync.Mutex
 	cause error
+
+	// Warning thresholds (SetWarnFunc): warnFracs is ascending budget
+	// fractions; memWarnIdx/itemWarnIdx count thresholds already fired,
+	// so each fires exactly once. warnMu serializes the (rare) firing.
+	warnFn      func(resource string, frac float64, used, limit int64)
+	warnFracs   []float64
+	warnMu      sync.Mutex
+	memWarnIdx  atomic.Int32
+	itemWarnIdx atomic.Int32
 
 	stopCtxWatch func() bool
 	timer        *time.Timer
@@ -188,12 +199,77 @@ func (c *Control) Err() error {
 	return nil
 }
 
-// ChargeMem accounts delta bytes of live payload (negative to release).
-func (c *Control) ChargeMem(delta int64) {
-	if c == nil || c.budget.MaxMemoryBytes <= 0 {
+// TrackMemory enables live-payload accounting (and peak tracking) even
+// without a memory budget, for observers that report footprint on
+// unbudgeted runs. Call before mining starts.
+func (c *Control) TrackMemory() {
+	if c != nil {
+		c.trackMem = true
+	}
+}
+
+// SetWarnFunc arms budget warnings: fn fires once per fraction in fracs
+// (ascending, each in (0, 1)) as the memory or itemsets budget fills,
+// with the resource name, the fraction crossed, and the used/limit pair.
+// fn is called from whichever mining goroutine crossed the threshold, so
+// it must be safe for concurrent use with the rest of the run. Call
+// before mining starts.
+func (c *Control) SetWarnFunc(fracs []float64, fn func(resource string, frac float64, used, limit int64)) {
+	if c == nil || fn == nil || len(fracs) == 0 {
 		return
 	}
-	c.mem.Add(delta)
+	c.warnFracs = fracs
+	c.warnFn = fn
+}
+
+// maybeWarn fires the not-yet-fired thresholds that used has crossed for
+// one resource. The fast path (threshold not reached) is one atomic load
+// and a float compare; firing serializes under warnMu.
+func (c *Control) maybeWarn(resource string, idx *atomic.Int32, used, limit int64) {
+	i := int(idx.Load())
+	if i >= len(c.warnFracs) || float64(used) < c.warnFracs[i]*float64(limit) {
+		return
+	}
+	c.warnMu.Lock()
+	defer c.warnMu.Unlock()
+	for int(idx.Load()) < len(c.warnFracs) {
+		f := c.warnFracs[idx.Load()]
+		if float64(used) < f*float64(limit) {
+			return
+		}
+		idx.Add(1)
+		c.warnFn(resource, f, used, limit)
+	}
+}
+
+// ChargeMem accounts delta bytes of live payload (negative to release).
+// Accounting runs when a memory budget is set or TrackMemory was called;
+// otherwise this is a nil-check no-op.
+func (c *Control) ChargeMem(delta int64) {
+	if c == nil || (c.budget.MaxMemoryBytes <= 0 && !c.trackMem) {
+		return
+	}
+	v := c.mem.Add(delta)
+	if delta <= 0 {
+		return
+	}
+	for {
+		p := c.peak.Load()
+		if v <= p || c.peak.CompareAndSwap(p, v) {
+			break
+		}
+	}
+	if c.warnFn != nil && c.budget.MaxMemoryBytes > 0 {
+		c.maybeWarn("memory", &c.memWarnIdx, v, c.budget.MaxMemoryBytes)
+	}
+}
+
+// PeakMem returns the high-water mark of accounted live payload bytes.
+func (c *Control) PeakMem() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.peak.Load()
 }
 
 // MemUsed returns the currently accounted live payload bytes.
@@ -231,10 +307,15 @@ func (c *Control) AddItemsets(n int) error {
 		return nil
 	}
 	total := c.items.Add(int64(n))
-	if c.budget.MaxItemsets > 0 && total > c.budget.MaxItemsets {
-		err := &BudgetError{Resource: "itemsets", Limit: c.budget.MaxItemsets, Used: total}
-		c.Stop(err)
-		return c.Cause()
+	if c.budget.MaxItemsets > 0 {
+		if c.warnFn != nil {
+			c.maybeWarn("itemsets", &c.itemWarnIdx, total, c.budget.MaxItemsets)
+		}
+		if total > c.budget.MaxItemsets {
+			err := &BudgetError{Resource: "itemsets", Limit: c.budget.MaxItemsets, Used: total}
+			c.Stop(err)
+			return c.Cause()
+		}
 	}
 	return nil
 }

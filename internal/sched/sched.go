@@ -15,6 +15,7 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/runctl"
 )
@@ -213,6 +214,7 @@ func (c *guidedChunker) Next(int) (int, int, bool) {
 // team. The zero value is not usable; construct with NewTeam.
 type Team struct {
 	workers int
+	metrics *Metrics
 }
 
 // NewTeam returns a team of n workers (n >= 1; n is clamped to 1
@@ -227,6 +229,10 @@ func NewTeam(n int) *Team {
 // Workers returns the team size.
 func (t *Team) Workers() int { return t.workers }
 
+// SetMetrics attaches a per-worker load recorder: every subsequent
+// ForCtx/ForChunksCtx loop appends one PhaseStats to m. nil detaches.
+func (t *Team) SetMetrics(m *Metrics) { t.metrics = m }
+
 // cancelStride bounds how many iterations a worker runs between stop
 // checks inside one chunk, so a cancelled run unwinds promptly even
 // under schedule(static, 0), whose chunks span 1/p of the whole loop.
@@ -236,9 +242,11 @@ const cancelStride = 256
 
 // loopState is the per-loop shared unwinding state: the run's Control
 // (may be nil) plus a loop-local latch for recovered panics, so panic
-// containment works even for loops without run control.
+// containment works even for loops without run control. rec, when
+// non-nil, accumulates per-worker load counters for the loop.
 type loopState struct {
 	rc       *runctl.Control
+	rec      *phaseRec
 	panicErr atomic.Pointer[runctl.WorkerPanicError]
 }
 
@@ -266,10 +274,33 @@ func (ls *loopState) err() error {
 	return ls.rc.Cause()
 }
 
+// runChunk executes chunk [lo, hi) for worker w, returning the number of
+// iterations executed and whether the chunk ran to completion (false
+// when a stop check fired mid-chunk).
+func (ls *loopState) runChunk(w, lo, hi int, body func(worker, i int)) (done int, completed bool) {
+	for lo < hi {
+		end := lo + cancelStride
+		if end > hi {
+			end = hi
+		}
+		for i := lo; i < end; i++ {
+			body(w, i)
+		}
+		done += end - lo
+		lo = end
+		if lo < hi && ls.stopped() {
+			return done, false
+		}
+	}
+	return done, true
+}
+
 // runWorker drains chunks for worker w until the chunker is empty or the
 // loop stops. Stop checks run at every chunk boundary and every
 // cancelStride iterations within a chunk; the fault-injection hook (see
-// fault.go) fires at each chunk boundary.
+// fault.go) fires at each chunk boundary. With metrics attached, each
+// chunk's busy time and iteration count are accounted to the worker (a
+// chunk ended by a contained panic loses its accounting).
 func (ls *loopState) runWorker(w int, ch Chunker, body func(worker, i int)) {
 	defer ls.recover(w)
 	for {
@@ -281,18 +312,17 @@ func (ls *loopState) runWorker(w int, ch Chunker, body func(worker, i int)) {
 			return
 		}
 		injectFault(w, lo, hi, ls.rc)
-		for lo < hi {
-			end := lo + cancelStride
-			if end > hi {
-				end = hi
-			}
-			for i := lo; i < end; i++ {
-				body(w, i)
-			}
-			lo = end
-			if lo < hi && ls.stopped() {
+		if ls.rec == nil {
+			if _, completed := ls.runChunk(w, lo, hi, body); !completed {
 				return
 			}
+			continue
+		}
+		t0 := time.Now()
+		done, completed := ls.runChunk(w, lo, hi, body)
+		ls.rec.addChunk(w, int64(done), time.Since(t0))
+		if !completed {
+			return
 		}
 	}
 }
@@ -320,6 +350,8 @@ func (t *Team) ForCtx(rc *runctl.Control, n int, s Schedule, body func(worker, i
 	if p > n {
 		p = n
 	}
+	ls.rec = t.metrics.begin(n, p, s)
+	defer ls.rec.finish(t.metrics)
 	ch := NewChunker(n, p, s)
 	if p == 1 {
 		ls.runWorker(0, ch, body)
@@ -365,6 +397,8 @@ func (t *Team) ForChunksCtx(rc *runctl.Control, n int, s Schedule, body func(wor
 	if p > n {
 		p = n
 	}
+	ls.rec = t.metrics.begin(n, p, s)
+	defer ls.rec.finish(t.metrics)
 	ch := NewChunker(n, p, s)
 	run := func(w int) {
 		defer ls.recover(w)
@@ -377,7 +411,13 @@ func (t *Team) ForChunksCtx(rc *runctl.Control, n int, s Schedule, body func(wor
 				return
 			}
 			injectFault(w, lo, hi, ls.rc)
+			if ls.rec == nil {
+				body(w, lo, hi)
+				continue
+			}
+			t0 := time.Now()
 			body(w, lo, hi)
+			ls.rec.addChunk(w, int64(hi-lo), time.Since(t0))
 		}
 	}
 	if p == 1 {

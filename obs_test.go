@@ -1,0 +1,435 @@
+package fim
+
+// Acceptance tests for the observability layer: the structured event
+// stream emitted through Options.Observer, driven end-to-end through
+// MineContext on all three miners, including the terminal events of the
+// cancel/budget/degrade/panic paths (extending the PR 1 fault-injection
+// suite to assert on the stream).
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/export"
+	"repro/internal/sched"
+)
+
+// mineRecorded runs one observed mine and returns the result, the error
+// and the recorded stream.
+func mineRecorded(t *testing.T, db *DB, opt Options) (*Result, error, []Event) {
+	t.Helper()
+	rec := &EventRecorder{}
+	opt.Observer = rec
+	res, err := MineContext(context.Background(), db, 0.5, opt)
+	if res == nil {
+		t.Fatalf("nil result (err=%v)", err)
+	}
+	return res, err, rec.Events()
+}
+
+// assertStream checks the structural invariants every stream must hold:
+// run_start first, run_end last, each exactly once, every level opened
+// exactly once before it closes, and every phase_end's per-worker task
+// counts summing to the loop's iteration count.
+func assertStream(t *testing.T, label string, events []Event) {
+	t.Helper()
+	if err := export.ValidateEvents(events); err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	for _, e := range events {
+		if e.Type != EventPhaseEnd || len(e.Load) == 0 {
+			continue
+		}
+		var tasks int64
+		for _, w := range e.Load {
+			tasks += w.Tasks
+		}
+		if tasks > int64(e.Candidates) {
+			t.Errorf("%s: phase %q worker tasks %d exceed loop n %d",
+				label, e.Phase, tasks, e.Candidates)
+		}
+	}
+}
+
+// countType returns how many events of each type the stream holds.
+func countType(events []Event, ty EventType) int {
+	n := 0
+	for _, e := range events {
+		if e.Type == ty {
+			n++
+		}
+	}
+	return n
+}
+
+// TestObserverEventOrder: a complete run on each miner emits run_start,
+// ordered level_start/level_end pairs with consistent counts, one
+// phase_end per scheduler loop, and a run_end whose totals match the
+// Result — with the stream identical in shape under -race at 4 workers.
+func TestObserverEventOrder(t *testing.T) {
+	db := runctlDB(t)
+	for _, algo := range []Algorithm{Apriori, Eclat, FPGrowth} {
+		res, err, events := mineRecorded(t, db, Options{
+			Algorithm: algo, Representation: Diffset, Workers: 4,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		assertStream(t, algo.String(), events)
+
+		first, last := events[0], events[len(events)-1]
+		if first.Algorithm != algo.String() || first.Workers != 4 || first.Transactions != db.NumTransactions() {
+			t.Errorf("%v: run_start = %+v", algo, first)
+		}
+		if first.MinSupport < 1 {
+			t.Errorf("%v: run_start min_support = %d", algo, first.MinSupport)
+		}
+		if last.Itemsets != int64(res.Len()) || last.MaxK != res.MaxK {
+			t.Errorf("%v: run_end totals (%d, %d) disagree with result (%d, %d)",
+				algo, last.Itemsets, last.MaxK, res.Len(), res.MaxK)
+		}
+		if last.Incomplete || last.DegradedRun {
+			t.Errorf("%v: complete run marked incomplete/degraded in run_end", algo)
+		}
+		if last.PeakLiveBytes <= 0 {
+			t.Errorf("%v: run_end peak_live_bytes = %d", algo, last.PeakLiveBytes)
+		}
+
+		starts, ends := countType(events, EventLevelStart), countType(events, EventLevelEnd)
+		if starts == 0 || starts != ends {
+			t.Errorf("%v: %d level_start vs %d level_end", algo, starts, ends)
+		}
+		if countType(events, EventPhaseEnd) == 0 {
+			t.Errorf("%v: no phase_end events", algo)
+		}
+		if countType(events, EventStop)+countType(events, EventBudgetWarning)+countType(events, EventDegraded) != 0 {
+			t.Errorf("%v: control-plane events on a clean run", algo)
+		}
+
+		// Levels arrive in search order: Apriori generations strictly
+		// ascending, Eclat's flattened stages non-descending.
+		lastLevel := 0
+		for _, e := range events {
+			if e.Type != EventLevelEnd || e.Level == 0 {
+				continue
+			}
+			if algo == Apriori && e.Level != lastLevel+1 {
+				t.Errorf("apriori: level %d after %d", e.Level, lastLevel)
+			}
+			if e.Level < lastLevel {
+				t.Errorf("%v: level %d after %d", algo, e.Level, lastLevel)
+			}
+			lastLevel = e.Level
+		}
+
+		// Frequent counts per level sum to the result (Eclat's stream
+		// omits the size-1 roots, which the recode pass already counted).
+		sum := 0
+		for _, e := range events {
+			if e.Type == EventLevelEnd {
+				sum += e.Frequent
+			}
+		}
+		want := res.Len()
+		if algo == Eclat {
+			want -= len(res.Rec.Items)
+		}
+		if sum != want {
+			t.Errorf("%v: level frequent counts sum to %d, result has %d", algo, sum, want)
+		}
+	}
+}
+
+// TestObserverAprioriCandidates: Apriori's level events carry the
+// generated/pruned candidate split, and pruning shows up in the stream.
+func TestObserverAprioriCandidates(t *testing.T) {
+	db := runctlDB(t)
+	_, err, events := mineRecorded(t, db, Options{
+		Algorithm: Apriori, Representation: Diffset, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawCandidates := false
+	for _, e := range events {
+		if e.Type == EventLevelStart && e.Level >= 2 {
+			if e.Candidates <= 0 {
+				t.Errorf("level %d start without candidate count", e.Level)
+			}
+			sawCandidates = true
+		}
+	}
+	if !sawCandidates {
+		t.Error("no level_start with candidates past level 1")
+	}
+}
+
+// TestObserverCancelEmitsStop: a cancelled run's stream still closes
+// properly — a stop event with reason "canceled" and a final run_end
+// marked incomplete.
+func TestObserverCancelEmitsStop(t *testing.T) {
+	defer sched.SetFaultHook(nil)
+	db := runctlDB(t)
+	for _, algo := range []Algorithm{Apriori, Eclat, FPGrowth} {
+		ctx, cancel := context.WithCancel(context.Background())
+		sched.SetFaultHook(func(fc sched.FaultContext) {
+			if fc.Seq == 3 {
+				cancel()
+				for !fc.Control.Stopped() {
+					time.Sleep(10 * time.Microsecond)
+				}
+			}
+		})
+		rec := &EventRecorder{}
+		res, _ := MineContext(ctx, db, 0.5, Options{
+			Algorithm: algo, Representation: Tidset, Workers: 2, Observer: rec,
+		})
+		cancel()
+		sched.SetFaultHook(nil)
+
+		events := rec.Events()
+		assertStream(t, algo.String(), events)
+		stops := rec.ByType(EventStop)
+		if len(stops) != 1 || stops[0].Reason != "canceled" {
+			t.Fatalf("%v: stop events = %+v, want one with reason canceled", algo, stops)
+		}
+		last := events[len(events)-1]
+		if !last.Incomplete {
+			t.Errorf("%v: run_end not marked incomplete", algo)
+		}
+		if res == nil || !res.Incomplete {
+			t.Errorf("%v: result not marked incomplete", algo)
+		}
+	}
+}
+
+// TestObserverBudgetWarningsAndStop: an itemsets budget emits ascending
+// threshold warnings before the terminal budget stop.
+func TestObserverBudgetWarningsAndStop(t *testing.T) {
+	db := runctlDB(t)
+	_, err, events := mineRecorded(t, db, Options{
+		Algorithm: Apriori, Representation: Diffset, Workers: 2,
+		MaxItemsets: 200,
+	})
+	if err == nil {
+		t.Fatal("itemsets budget did not bind")
+	}
+	assertStream(t, "itemsets-budget", events)
+	var warns []Event
+	for _, e := range events {
+		if e.Type == EventBudgetWarning {
+			warns = append(warns, e)
+		}
+	}
+	if len(warns) == 0 {
+		t.Fatal("no budget_warning before the stop")
+	}
+	lastFrac := 0.0
+	for _, w := range warns {
+		if w.Resource != "itemsets" {
+			t.Errorf("warning resource = %q", w.Resource)
+		}
+		if w.Fraction <= lastFrac {
+			t.Errorf("warning fractions not ascending: %v after %v", w.Fraction, lastFrac)
+		}
+		if w.Limit != 200 || w.Used <= 0 {
+			t.Errorf("warning used/limit = %d/%d", w.Used, w.Limit)
+		}
+		lastFrac = w.Fraction
+	}
+	stops := 0
+	for _, e := range events {
+		if e.Type == EventStop {
+			stops++
+			if e.Reason != "budget:itemsets" {
+				t.Errorf("stop reason = %q, want budget:itemsets", e.Reason)
+			}
+		}
+	}
+	if stops != 1 {
+		t.Errorf("stop events = %d, want 1", stops)
+	}
+}
+
+// TestObserverMemoryBudgetStop: a memory breach without degradation
+// warns on the memory resource and stops with budget:memory.
+func TestObserverMemoryBudgetStop(t *testing.T) {
+	db := runctlDB(t)
+	_, err, events := mineRecorded(t, db, Options{
+		Algorithm: Apriori, Representation: Tidset, Workers: 2,
+		MaxMemoryBytes: 100 << 10,
+	})
+	if err == nil {
+		t.Fatal("memory budget did not bind")
+	}
+	assertStream(t, "memory-budget", events)
+	sawMemWarn := false
+	for _, e := range events {
+		if e.Type == EventBudgetWarning && e.Resource == "memory" {
+			sawMemWarn = true
+		}
+	}
+	if !sawMemWarn {
+		t.Error("no memory budget_warning")
+	}
+	stops := 0
+	for _, e := range events {
+		if e.Type == EventStop {
+			stops++
+			if e.Reason != "budget:memory" {
+				t.Errorf("stop reason = %q, want budget:memory", e.Reason)
+			}
+		}
+	}
+	if stops != 1 {
+		t.Errorf("stop events = %d, want 1", stops)
+	}
+}
+
+// TestObserverDegradeEmitsEvent: the mid-run diffset switch appears as
+// exactly one degraded event, the run completes with no stop event, and
+// run_end carries the degraded flag.
+func TestObserverDegradeEmitsEvent(t *testing.T) {
+	db := runctlDB(t)
+	for _, algo := range []Algorithm{Apriori, Eclat} {
+		res, err, events := mineRecorded(t, db, Options{
+			Algorithm: algo, Representation: Tidset, Workers: 2,
+			MaxMemoryBytes: 100 << 10, DegradeToDiffset: true,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if !res.Degraded {
+			t.Fatalf("%v: budget no longer binds", algo)
+		}
+		assertStream(t, algo.String(), events)
+		degs := 0
+		for _, e := range events {
+			if e.Type == EventDegraded {
+				degs++
+				if e.Representation != "diffset" {
+					t.Errorf("%v: degraded to %q", algo, e.Representation)
+				}
+			}
+		}
+		if degs != 1 {
+			t.Errorf("%v: degraded events = %d, want 1", algo, degs)
+		}
+		if countType(events, EventStop) != 0 {
+			t.Errorf("%v: stop event on a completed degraded run", algo)
+		}
+		if !events[len(events)-1].DegradedRun {
+			t.Errorf("%v: run_end missing degraded flag", algo)
+		}
+	}
+}
+
+// TestObserverPanicEmitsStop: a contained worker panic surfaces in the
+// stream as a worker-panic stop, and the stream still ends in run_end.
+func TestObserverPanicEmitsStop(t *testing.T) {
+	defer sched.SetFaultHook(nil)
+	db := runctlDB(t)
+	for _, algo := range []Algorithm{Apriori, Eclat, FPGrowth} {
+		sched.SetFaultHook(func(fc sched.FaultContext) {
+			if fc.Seq == 2 {
+				panic("injected worker fault")
+			}
+		})
+		rec := &EventRecorder{}
+		_, err := MineContext(context.Background(), db, 0.5, Options{
+			Algorithm: algo, Representation: Tidset, Workers: 4, Observer: rec,
+		})
+		sched.SetFaultHook(nil)
+		if err == nil {
+			t.Fatalf("%v: injected panic did not surface", algo)
+		}
+		events := rec.Events()
+		assertStream(t, algo.String(), events)
+		stops := rec.ByType(EventStop)
+		if len(stops) != 1 || stops[0].Reason != "worker-panic" {
+			t.Fatalf("%v: stop events = %+v, want one worker-panic", algo, stops)
+		}
+	}
+}
+
+// TestObserverDeadlineReason: a context deadline classifies as
+// "deadline", distinct from explicit cancellation.
+func TestObserverDeadlineReason(t *testing.T) {
+	defer sched.SetFaultHook(nil)
+	sched.SetFaultHook(func(sched.FaultContext) { time.Sleep(5 * time.Millisecond) })
+	db := runctlDB(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	rec := &EventRecorder{}
+	_, err := MineContext(ctx, db, 0.5, Options{
+		Algorithm: Eclat, Representation: Tidset, Workers: 2, Observer: rec,
+	})
+	sched.SetFaultHook(nil)
+	if err == nil {
+		t.Fatal("deadline did not bind")
+	}
+	stops := rec.ByType(EventStop)
+	if len(stops) != 1 || stops[0].Reason != "deadline" {
+		t.Fatalf("stop events = %+v, want one with reason deadline", stops)
+	}
+}
+
+// TestObserverResultUnchanged: observing a run must not change its
+// answer.
+func TestObserverResultUnchanged(t *testing.T) {
+	db := runctlDB(t)
+	for _, algo := range []Algorithm{Apriori, Eclat, FPGrowth} {
+		ref, err := Mine(db, 0.5, Options{Algorithm: algo, Representation: Diffset, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err, _ := mineRecorded(t, db, Options{Algorithm: algo, Representation: Diffset, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Equal(ref) {
+			t.Errorf("%v: observed run disagrees with unobserved reference", algo)
+		}
+	}
+}
+
+// TestMultiObserver: fan-out delivers every event to every sink, and
+// the nil/single fast paths collapse correctly.
+func TestMultiObserver(t *testing.T) {
+	if MultiObserver() != nil || MultiObserver(nil, nil) != nil {
+		t.Error("MultiObserver of no live sinks != nil")
+	}
+	r := &EventRecorder{}
+	if MultiObserver(nil, r) != Observer(r) {
+		t.Error("single live sink not unwrapped")
+	}
+	r2 := &EventRecorder{}
+	m := MultiObserver(r, r2)
+	m.Event(obs.Event{Type: EventRunStart})
+	if len(r.Events()) != 1 || len(r2.Events()) != 1 {
+		t.Error("fan-out missed a sink")
+	}
+}
+
+// TestStopReason covers the classifier's stable strings.
+func TestStopReason(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{context.Canceled, "canceled"},
+		{context.DeadlineExceeded, "deadline"},
+		{&BudgetError{Resource: "memory"}, "budget:memory"},
+		{&BudgetError{Resource: "duration"}, "budget:duration"},
+		{&WorkerPanicError{Value: "x"}, "worker-panic"},
+		{context.Background().Err(), ""},
+	}
+	for _, c := range cases {
+		if got := StopReason(c.err); got != c.want {
+			t.Errorf("StopReason(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
