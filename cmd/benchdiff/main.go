@@ -1,0 +1,106 @@
+// Command benchdiff compares fim-bench/v1 benchmark files cell by cell
+// and gates CI on regressions. The first file is the baseline; every
+// later file is diffed against it in order. A cell (dataset, algorithm,
+// representation, threads) regresses when its best wall time grows past
+// -tolerance (new/old ratio); itemset-count disagreement is always a
+// hard error regardless of tolerance, because the miners are
+// deterministic. Cells present in only one file are reported but never
+// fail the gate, so a CI run over a dataset subset can diff against the
+// full committed baseline.
+//
+// Usage:
+//
+//	benchdiff results/BENCH_bench.json new.json
+//	benchdiff -tolerance 3 -history results/BENCH_history.jsonl baseline.json new.json
+//
+// With -history, the newest file's cells are appended as one line of the
+// append-only fim-bench-history/v1 JSONL log (written even when the gate
+// fails, so regressions are part of the record).
+//
+// Exit status: 0 within tolerance, 1 wall-time regression, 2 usage or
+// I/O error, 3 itemset-count mismatch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs/export"
+)
+
+func main() {
+	tol := flag.Float64("tolerance", 1.5, "max allowed new/old wall-time ratio per cell")
+	historyPath := flag.String("history", "", "append the newest file's cells to this fim-bench-history/v1 JSONL log")
+	label := flag.String("label", "", "label for the history entry (e.g. a git ref)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance R] [-history FILE] [-label S] baseline.json new.json...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if flag.NArg() < 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *tol <= 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: -tolerance %v must be positive\n", *tol)
+		os.Exit(2)
+	}
+
+	files := make([]*export.BenchFile, flag.NArg())
+	for i, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		files[i], err = export.ReadBenchFile(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("benchdiff: %s: %w", path, err))
+		}
+	}
+
+	exit := 0
+	baseline := files[0]
+	for i := 1; i < len(files); i++ {
+		d, err := export.DiffBench(baseline, files[i])
+		if err != nil {
+			fatal(fmt.Errorf("benchdiff: %s vs %s: %w", flag.Arg(0), flag.Arg(i), err))
+		}
+		fmt.Printf("== %s vs %s (tolerance %.2fx) ==\n", flag.Arg(0), flag.Arg(i), *tol)
+		export.FormatBenchDiff(os.Stdout, d, *tol)
+		if mm := d.ItemsetMismatches(); len(mm) > 0 {
+			for _, c := range mm {
+				fmt.Fprintf(os.Stderr, "benchdiff: %s: itemset count changed %d -> %d (correctness regression)\n",
+					c.Key, c.OldItemsets, c.NewItemsets)
+			}
+			exit = 3
+		}
+		if regs := d.Regressions(*tol); len(regs) > 0 && exit == 0 {
+			for _, c := range regs {
+				fmt.Fprintf(os.Stderr, "benchdiff: %s: wall time %.3fs -> %.3fs (%.2fx > %.2fx tolerance)\n",
+					c.Key, c.OldWall, c.NewWall, c.WallRatio, *tol)
+			}
+			exit = 1
+		}
+	}
+
+	if *historyPath != "" {
+		newest := files[len(files)-1]
+		e, err := export.NewHistoryEntry(newest, *label)
+		if err != nil {
+			fatal(fmt.Errorf("benchdiff: %w", err))
+		}
+		if err := export.AppendHistory(*historyPath, e); err != nil {
+			fatal(fmt.Errorf("benchdiff: %w", err))
+		}
+		fmt.Printf("benchdiff: appended %d cell(s) to %s\n", len(e.Cells), *historyPath)
+	}
+	os.Exit(exit)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

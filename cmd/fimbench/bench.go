@@ -29,16 +29,21 @@ var benchDatasets = []string{"chess", "mushroom"}
 // clock, not the simulator) and writes a fim-bench/v1 document to path.
 // Peak live payload bytes come from the run's observer stream; each
 // (dataset, config, threads) cell runs reps times and every rep is
-// recorded, so consumers can aggregate however they like.
-func runBenchJSON(path string, threads []int, scale float64, reps int) error {
+// recorded, so consumers can aggregate however they like. names
+// restricts the dataset set (CI benches mushroom only against the
+// full committed baseline; benchdiff compares the common cells).
+func runBenchJSON(path string, names []string, threads []int, scale float64, reps int) error {
 	if len(threads) == 0 {
 		threads = []int{1, 2, 4}
 	}
 	if reps < 1 {
 		reps = 1
 	}
+	if len(names) == 0 {
+		names = benchDatasets
+	}
 	var results []export.Bench
-	for _, name := range benchDatasets {
+	for _, name := range names {
 		ds, err := datasets.Get(name)
 		if err != nil {
 			return err

@@ -40,6 +40,7 @@ func main() {
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts (default 1,16,32,64,128,256; 1,2,4 for -json)")
 	jsonPath := flag.String("json", "", "run the standardized real-hardware bench suite and write fim-bench/v1 JSON to this file (e.g. results/BENCH_bench.json)")
 	benchReps := flag.Int("reps", 1, "repetitions per -json bench cell")
+	benchDatasetsFlag := flag.String("datasets", strings.Join(benchDatasets, ","), "comma-separated datasets for the -json suite")
 	flag.Parse()
 
 	cfg := experiments.Config{Scale: *scale}
@@ -55,7 +56,13 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		if err := runBenchJSON(*jsonPath, cfg.Threads, *scale, *benchReps); err != nil {
+		var names []string
+		for _, n := range strings.Split(*benchDatasetsFlag, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		if err := runBenchJSON(*jsonPath, names, cfg.Threads, *scale, *benchReps); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -16,8 +16,10 @@
 //
 // Observability: -progress prints live level-by-level progress,
 // -events writes the structured JSON-lines event stream, -report writes
-// the final fim-run-report/v1 JSON document, and -metrics-addr serves
-// the live report snapshot plus expvar and pprof over HTTP. Itemsets
+// the final fim-run-report/v1 JSON document, -trace writes the span
+// timeline as Chrome trace-event JSON (load in ui.perfetto.dev: one row
+// per worker, one bar per scheduler chunk), and -metrics-addr serves
+// the live report and trace snapshots plus expvar and pprof. Itemsets
 // and rules are the only stdout output; every diagnostic (summary,
 // progress, stop reason, metrics address) goes to stderr, so piped
 // stdout stays clean.
@@ -47,6 +49,8 @@ func main() {
 	workers := flag.Int("workers", 1, "parallel workers")
 	freqOrder := flag.Bool("freq-order", false, "recode items in ascending support order")
 	depth := flag.Int("depth", 0, "Eclat flattening depth (0 = default)")
+	schedName := flag.String("sched", "", "override the loop schedule: static, dynamic, guided (default: the algorithm's choice)")
+	schedChunk := flag.Int("sched-chunk", 0, "chunk size for -sched (0 = the policy's default)")
 	lazy := flag.Bool("lazy", false, "Apriori: count supports before materializing payloads")
 	rules := flag.Float64("rules", 0, "also emit association rules at this confidence (0 = off)")
 	closedOnly := flag.Bool("closed", false, "print only closed itemsets")
@@ -59,6 +63,7 @@ func main() {
 	progress := flag.Bool("progress", false, "print live level-by-level progress to stderr")
 	eventsPath := flag.String("events", "", "write the run's JSON-lines event stream to this file")
 	reportPath := flag.String("report", "", "write the machine-readable run report (fim-run-report/v1) to this file")
+	tracePath := flag.String("trace", "", "write the run's span timeline as Chrome trace-event JSON to this file (open in ui.perfetto.dev)")
 	metricsAddr := flag.String("metrics-addr", "", "serve the live report, expvar and pprof over HTTP on this address (e.g. :8080; :0 picks a port)")
 	flag.Parse()
 
@@ -78,6 +83,13 @@ func main() {
 	opt.OrderByFrequency = *freqOrder
 	opt.EclatDepth = *depth
 	opt.LazyMaterialize = *lazy
+	if *schedName != "" {
+		if opt.SchedulePolicy, err = fim.ParseSchedulePolicy(*schedName); err != nil {
+			fatal(err)
+		}
+		opt.ScheduleChunk = *schedChunk
+		opt.SetSchedule = true
+	}
 	opt.MaxMemoryBytes = int64(*maxMemMB * (1 << 20))
 	opt.MaxItemsets = *maxItemsets
 	opt.MaxDuration = *timeout
@@ -105,8 +117,13 @@ func main() {
 		sinks = append(sinks, builder)
 	}
 	opt.Observer = fim.MultiObserver(sinks...)
+	var tracer *fim.SpanRecorder
+	if *tracePath != "" || *metricsAddr != "" {
+		tracer = fim.NewSpanRecorder()
+		opt.SpanTrace = tracer
+	}
 	if *metricsAddr != "" {
-		srv, err := export.Serve(*metricsAddr, builder)
+		srv, err := export.Serve(*metricsAddr, builder, tracer)
 		if err != nil {
 			fatal(err)
 		}
@@ -171,9 +188,31 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *tracePath != "" {
+		if err := writeTraceFile(*tracePath, tracer); err != nil {
+			fatal(err)
+		}
+		if n := tracer.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "fimmine: trace span cap hit, %d spans dropped\n", n)
+		}
+	}
 	if res.Incomplete {
 		os.Exit(1)
 	}
+}
+
+// writeTraceFile renders the recorded span timeline as Chrome
+// trace-event JSON at path.
+func writeTraceFile(path string, tr *fim.SpanRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := export.WriteTrace(f, export.BuildTrace(tr)); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeReportFile finalizes the builder's report and writes it to path.

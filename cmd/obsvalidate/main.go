@@ -1,13 +1,28 @@
 // Command obsvalidate checks observability artifacts against their
 // schemas: a JSON-lines event stream (fimmine -events), a run report
-// (fimmine -report, fim-run-report/v1), and a benchmark result file
-// (fimbench -json, fim-bench/v1). CI runs it over the artifacts of a
-// short instrumented mine; exit status is non-zero on the first
-// violation.
+// (fimmine -report, fim-run-report/v1), a benchmark result file
+// (fimbench -json, fim-bench/v1), and a span timeline (fimmine -trace,
+// Chrome trace-event JSON). When both -events and -trace are given, it
+// also cross-checks the trace's per-worker chunk-span totals against
+// the event stream's phase_end load metrics (within 5%). CI runs it
+// over the artifacts of a short instrumented mine.
+//
+// Every failure names the offending artifact path on stderr; each
+// validator class has a distinct exit code so CI logs identify the
+// broken layer without parsing messages:
+//
+//	0  all artifacts valid
+//	1  I/O error opening or reading an artifact
+//	2  usage error (no artifacts requested)
+//	3  event stream invalid
+//	4  run report invalid
+//	5  bench file invalid
+//	6  trace file invalid
+//	7  trace/events busy-time cross-check failed
 //
 // Usage:
 //
-//	obsvalidate -events run.jsonl -report run.json -bench results/BENCH_bench.json
+//	obsvalidate -events run.jsonl -report run.json -trace run.trace.json -bench results/BENCH_bench.json
 package main
 
 import (
@@ -15,32 +30,53 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/obs/export"
 )
+
+// Exit codes, one per validator class.
+const (
+	exitOK       = 0
+	exitIO       = 1
+	exitUsage    = 2
+	exitEvents   = 3
+	exitReport   = 4
+	exitBench    = 5
+	exitTrace    = 6
+	exitCrossChk = 7
+)
+
+// crossCheckTol matches the acceptance bound: span totals and
+// sched.Metrics busy time derive from the same chunk timings, so 5%
+// covers only encoding rounding.
+const crossCheckTol = 0.05
 
 func main() {
 	eventsPath := flag.String("events", "", "JSON-lines event stream to validate")
 	reportPath := flag.String("report", "", "fim-run-report/v1 document to validate")
 	benchPath := flag.String("bench", "", "fim-bench/v1 document to validate")
+	tracePath := flag.String("trace", "", "Chrome trace-event JSON timeline to validate")
 	flag.Parse()
 
-	if *eventsPath == "" && *reportPath == "" && *benchPath == "" {
-		fmt.Fprintln(os.Stderr, "obsvalidate: nothing to validate (pass -events, -report and/or -bench)")
-		os.Exit(2)
+	if *eventsPath == "" && *reportPath == "" && *benchPath == "" && *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "obsvalidate: nothing to validate (pass -events, -report, -bench and/or -trace)")
+		os.Exit(exitUsage)
 	}
+
 	checked := 0
+	var events []obs.Event
 	if *eventsPath != "" {
 		f, err := os.Open(*eventsPath)
 		if err != nil {
-			fatal(err)
+			fail(exitIO, *eventsPath, err)
 		}
-		events, err := export.DecodeLines(f)
+		events, err = export.DecodeLines(f)
 		f.Close()
 		if err != nil {
-			fatal(fmt.Errorf("obsvalidate: %s: %w", *eventsPath, err))
+			fail(exitEvents, *eventsPath, err)
 		}
 		if err := export.ValidateEvents(events); err != nil {
-			fatal(fmt.Errorf("obsvalidate: %s: %w", *eventsPath, err))
+			fail(exitEvents, *eventsPath, err)
 		}
 		fmt.Printf("%s: %d events, stream valid\n", *eventsPath, len(events))
 		checked++
@@ -48,12 +84,12 @@ func main() {
 	if *reportPath != "" {
 		f, err := os.Open(*reportPath)
 		if err != nil {
-			fatal(err)
+			fail(exitIO, *reportPath, err)
 		}
 		rep, err := export.ReadReport(f)
 		f.Close()
 		if err != nil {
-			fatal(fmt.Errorf("obsvalidate: %s: %w", *reportPath, err))
+			fail(exitReport, *reportPath, err)
 		}
 		fmt.Printf("%s: %s %s x%d, %d levels, %d itemsets, report valid\n",
 			*reportPath, rep.Schema, rep.Algorithm, rep.Workers, len(rep.Levels), rep.Itemsets)
@@ -62,20 +98,44 @@ func main() {
 	if *benchPath != "" {
 		f, err := os.Open(*benchPath)
 		if err != nil {
-			fatal(err)
+			fail(exitIO, *benchPath, err)
 		}
 		bf, err := export.ReadBenchFile(f)
 		f.Close()
 		if err != nil {
-			fatal(fmt.Errorf("obsvalidate: %s: %w", *benchPath, err))
+			fail(exitBench, *benchPath, err)
 		}
 		fmt.Printf("%s: %s, %d results, bench file valid\n", *benchPath, bf.Schema, len(bf.Results))
 		checked++
 	}
+	var trace *export.TraceFile
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fail(exitIO, *tracePath, err)
+		}
+		trace, err = export.ReadTraceFile(f)
+		f.Close()
+		if err != nil {
+			fail(exitTrace, *tracePath, err)
+		}
+		fmt.Printf("%s: %d trace events, %d worker row(s), trace valid\n",
+			*tracePath, len(trace.TraceEvents), len(trace.WorkerRows()))
+		checked++
+	}
+	if trace != nil && events != nil {
+		if err := export.CrossCheckTrace(trace, events, crossCheckTol); err != nil {
+			fail(exitCrossChk, *tracePath, err)
+		}
+		fmt.Printf("%s: busy time agrees with %s phase_end metrics within %.0f%%\n",
+			*tracePath, *eventsPath, crossCheckTol*100)
+	}
 	fmt.Printf("obsvalidate: %d artifact(s) valid\n", checked)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+// fail reports the offending artifact and exits with the validator
+// class's code.
+func fail(code int, path string, err error) {
+	fmt.Fprintf(os.Stderr, "obsvalidate: %s: %v\n", path, err)
+	os.Exit(code)
 }

@@ -42,6 +42,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/eclat"
 	"repro/internal/fpgrowth"
+	"repro/internal/kcount"
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/perf"
@@ -105,18 +106,33 @@ type (
 	// EventRecorder is an Observer that retains every event in order —
 	// the simplest sink.
 	EventRecorder = obs.Recorder
+	// SpanRecorder records the run's span timeline (run → level/class →
+	// scheduler chunk, one row per worker) for Chrome trace-event
+	// export (Options.SpanTrace; see obs/export's trace-file writer).
+	SpanRecorder = obs.TraceRecorder
+	// Span is one recorded interval of a span timeline.
+	Span = obs.Span
+	// KernelStats is a snapshot of the per-kernel operation counters
+	// (tidset merge/gallop steps, bitvector word ops, nodes built and
+	// bytes materialized per representation).
+	KernelStats = kcount.Stats
 )
+
+// NewSpanRecorder returns an empty span-timeline recorder for
+// Options.SpanTrace.
+func NewSpanRecorder() *SpanRecorder { return obs.NewTraceRecorder() }
 
 // The event kinds, re-exported from internal/obs.
 const (
-	EventRunStart      = obs.RunStart
-	EventLevelStart    = obs.LevelStart
-	EventLevelEnd      = obs.LevelEnd
-	EventPhaseEnd      = obs.PhaseEnd
-	EventBudgetWarning = obs.BudgetWarning
-	EventDegraded      = obs.Degraded
-	EventStop          = obs.Stop
-	EventRunEnd        = obs.RunEnd
+	EventRunStart       = obs.RunStart
+	EventLevelStart     = obs.LevelStart
+	EventLevelEnd       = obs.LevelEnd
+	EventPhaseEnd       = obs.PhaseEnd
+	EventBudgetWarning  = obs.BudgetWarning
+	EventDegraded       = obs.Degraded
+	EventStop           = obs.Stop
+	EventKernelCounters = obs.KernelCounters
+	EventRunEnd         = obs.RunEnd
 )
 
 // MultiObserver fans the event stream out to several observers. Nil
@@ -129,6 +145,10 @@ const (
 	Dynamic = sched.Dynamic
 	Guided  = sched.Guided
 )
+
+// ParseSchedulePolicy maps a schedule name ("static", "dynamic",
+// "guided") to its policy, for flag parsing.
+func ParseSchedulePolicy(s string) (SchedulePolicy, error) { return sched.ParsePolicy(s) }
 
 // Options configures Mine. The zero value mines with Apriori over
 // tidsets (the zero Algorithm and Representation), which is sound but
@@ -173,6 +193,14 @@ type Options struct {
 	// budgets. Empty means {0.5, 0.8, 0.95}. Only consulted when
 	// Observer is set and the corresponding budget is non-zero.
 	BudgetWarnAt []float64
+	// SpanTrace, when non-nil, records the run's span timeline: the run
+	// and every level/class stage on a coordinator row, every scheduler
+	// chunk on its worker's row, with real start times and durations.
+	// Export it as Chrome trace-event JSON (Perfetto-loadable) with
+	// obs/export's trace-file writer, or via fimmine -trace. The
+	// recorder also receives the event stream, so it needs no entry in
+	// Observer.
+	SpanTrace *SpanRecorder
 
 	// Run control. Zero values mean "unlimited"; see the package
 	// documentation's "Run control" section and MineContext.
@@ -278,10 +306,22 @@ func MineAbsoluteContext(ctx context.Context, db *DB, minSupport int, opt Option
 		copt.Schedule = sched.Schedule{Policy: opt.SchedulePolicy, Chunk: opt.ScheduleChunk}
 		copt.HasSchedule = true
 	}
+	// The span recorder rides the same event stream as the other sinks
+	// and additionally taps the scheduler's chunk hook.
 	o := opt.Observer
+	if opt.SpanTrace != nil {
+		o = obs.Multi(o, opt.SpanTrace)
+	}
+	var kbase kcount.Stats
 	if o != nil {
 		copt.Observer = o
 		copt.Metrics = sched.NewMetrics()
+		if opt.SpanTrace != nil {
+			copt.Metrics.SetTracer(opt.SpanTrace)
+		}
+		kcount.Enable()
+		defer kcount.Disable()
+		kbase = kcount.Snapshot()
 		rc.TrackMemory()
 		fracs := opt.BudgetWarnAt
 		if len(fracs) == 0 {
@@ -317,6 +357,8 @@ func MineAbsoluteContext(ctx context.Context, db *DB, minSupport int, opt Option
 		// Flush scheduler loops that finished after the last level
 		// boundary (early-stopped runs leave undrained phases behind).
 		core.EmitPhases(o, copt.Metrics)
+		o.Event(obs.Event{Type: obs.KernelCounters,
+			Counters: kcount.Snapshot().Sub(kbase).Map()})
 		if err != nil {
 			o.Event(obs.Event{Type: obs.Stop, Reason: StopReason(err), Err: err.Error()})
 		}

@@ -15,6 +15,7 @@ package bitvec
 import (
 	"math/bits"
 
+	"repro/internal/kcount"
 	"repro/internal/tidset"
 )
 
@@ -84,6 +85,7 @@ func (v *Vector) Count() int {
 	for _, w := range v.words {
 		c += bits.OnesCount64(w)
 	}
+	kcount.AddWordsPopcounted(len(v.words))
 	return c
 }
 
@@ -122,6 +124,7 @@ func (v *Vector) AndInto(a, b *Vector) *Vector {
 	for i := range v.words {
 		v.words[i] = a.words[i] & b.words[i]
 	}
+	kcount.AddWordsANDed(len(v.words))
 	return v
 }
 
@@ -132,6 +135,8 @@ func (v *Vector) AndCount(u *Vector) int {
 	for i := range v.words {
 		c += bits.OnesCount64(v.words[i] & u.words[i])
 	}
+	kcount.AddWordsANDed(len(v.words))
+	kcount.AddWordsPopcounted(len(v.words))
 	return c
 }
 
@@ -149,6 +154,7 @@ func (v *Vector) AndNotInto(a, b *Vector) *Vector {
 	for i := range v.words {
 		v.words[i] = a.words[i] &^ b.words[i]
 	}
+	kcount.AddWordsANDed(len(v.words))
 	return v
 }
 

@@ -1,0 +1,216 @@
+// Package kcount provides process-wide kernel operation counters for
+// the vertical-representation hot paths: tidset merge/gallop
+// intersection steps, bitvector word ANDs and popcounts, and per-
+// representation node materialization. These are the operation-level
+// quantities the paper's analysis attributes cost to (§II-B's kernel
+// comparison; Zymbler's many-core Apriori study argues scaling cliffs
+// from exactly such per-kernel counts), observable on a live run
+// instead of inferred from wall time.
+//
+// Counting is off by default and costs the kernels one atomic load and
+// a predictable branch per *kernel call* (never per element): the
+// kernels derive their step counts from loop indices they already
+// maintain, so the disabled path adds no work inside the merge loops.
+// Enable/Disable nest by reference count; counters are process-global,
+// so concurrent instrumented runs see each other's operations (the
+// engine snapshots around a run and reports the delta, which is exact
+// only when one instrumented run is active — the common case for
+// fimmine/fimbench).
+package kcount
+
+import "sync/atomic"
+
+// Kind indexes the per-representation counters. The values mirror
+// vertical.Kind's order; kcount redeclares them (as plain ints) so the
+// kernels below vertical in the import graph can use the package too.
+const (
+	Tidset = iota
+	Bitvector
+	Diffset
+	Hybrid
+	numKinds
+)
+
+// kindNames are the wire names used by Stats.Map, matching
+// vertical.Kind.String().
+var kindNames = [numKinds]string{"tidset", "bitvector", "diffset", "hybrid"}
+
+// Stats is a snapshot of the counters. The zero value is empty;
+// Sub produces the delta between two snapshots.
+type Stats struct {
+	// TidsCompared counts merge-loop steps across tidset intersection,
+	// difference, union and their count-only forms — the element
+	// comparisons of the sorted-set kernels.
+	TidsCompared int64
+	// MergePicks and GallopPicks count tidset intersections dispatched
+	// to the linear merge vs the exponential-search (galloping) path.
+	MergePicks  int64
+	GallopPicks int64
+	// GallopProbes counts elements probed by binary search on the
+	// galloping path (one probe sequence per short-side element).
+	GallopProbes int64
+	// WordsANDed and WordsPopcounted count 64-bit word operations in
+	// the bitvector AND and popcount kernels.
+	WordsANDed      int64
+	WordsPopcounted int64
+	// NodesBuilt and BytesMaterialized count, per representation kind,
+	// the payload nodes constructed by Combine/Roots and their byte
+	// footprint at construction.
+	NodesBuilt        [numKinds]int64
+	BytesMaterialized [numKinds]int64
+	// HybridFlips counts hybrid nodes that chose the diffset form over
+	// the tidset form at construction (the dEclat switch-over firing).
+	HybridFlips int64
+}
+
+// Sub returns s − prev, field-wise.
+func (s Stats) Sub(prev Stats) Stats {
+	d := Stats{
+		TidsCompared:    s.TidsCompared - prev.TidsCompared,
+		MergePicks:      s.MergePicks - prev.MergePicks,
+		GallopPicks:     s.GallopPicks - prev.GallopPicks,
+		GallopProbes:    s.GallopProbes - prev.GallopProbes,
+		WordsANDed:      s.WordsANDed - prev.WordsANDed,
+		WordsPopcounted: s.WordsPopcounted - prev.WordsPopcounted,
+		HybridFlips:     s.HybridFlips - prev.HybridFlips,
+	}
+	for k := 0; k < numKinds; k++ {
+		d.NodesBuilt[k] = s.NodesBuilt[k] - prev.NodesBuilt[k]
+		d.BytesMaterialized[k] = s.BytesMaterialized[k] - prev.BytesMaterialized[k]
+	}
+	return d
+}
+
+// Map renders the non-zero counters under stable wire names — the
+// key set of the kernel_counters event and the run report's
+// kernel_counters object.
+func (s Stats) Map() map[string]int64 {
+	m := map[string]int64{}
+	put := func(k string, v int64) {
+		if v != 0 {
+			m[k] = v
+		}
+	}
+	put("tids_compared", s.TidsCompared)
+	put("merge_picks", s.MergePicks)
+	put("gallop_picks", s.GallopPicks)
+	put("gallop_probes", s.GallopProbes)
+	put("words_anded", s.WordsANDed)
+	put("words_popcounted", s.WordsPopcounted)
+	put("hybrid_flips", s.HybridFlips)
+	for k := 0; k < numKinds; k++ {
+		put("nodes_built_"+kindNames[k], s.NodesBuilt[k])
+		put("bytes_materialized_"+kindNames[k], s.BytesMaterialized[k])
+	}
+	return m
+}
+
+// counters is the process-global accumulator. Fields are atomics so
+// worker goroutines add without coordination.
+type counters struct {
+	tidsCompared    atomic.Int64
+	mergePicks      atomic.Int64
+	gallopPicks     atomic.Int64
+	gallopProbes    atomic.Int64
+	wordsANDed      atomic.Int64
+	wordsPopcounted atomic.Int64
+	hybridFlips     atomic.Int64
+	nodesBuilt      [numKinds]atomic.Int64
+	bytesMat        [numKinds]atomic.Int64
+}
+
+var (
+	global counters
+	// refs gates the whole package: the kernels check Enabled() (one
+	// atomic load) before touching any counter.
+	refs atomic.Int32
+)
+
+// Enable turns counting on. Calls nest; each must be paired with
+// Disable.
+func Enable() { refs.Add(1) }
+
+// Disable undoes one Enable. An unpaired Disable panics, with the
+// count restored first so one caller's bug cannot wedge counting off
+// for the rest of the process.
+func Disable() {
+	if refs.Add(-1) < 0 {
+		refs.Add(1)
+		panic("kcount: Disable without Enable")
+	}
+}
+
+// Enabled reports whether any Enable is outstanding — the kernels'
+// single-load fast path.
+func Enabled() bool { return refs.Load() != 0 }
+
+// Snapshot returns the current totals. Cheap enough to call around
+// every instrumented run.
+func Snapshot() Stats {
+	var s Stats
+	s.TidsCompared = global.tidsCompared.Load()
+	s.MergePicks = global.mergePicks.Load()
+	s.GallopPicks = global.gallopPicks.Load()
+	s.GallopProbes = global.gallopProbes.Load()
+	s.WordsANDed = global.wordsANDed.Load()
+	s.WordsPopcounted = global.wordsPopcounted.Load()
+	s.HybridFlips = global.hybridFlips.Load()
+	for k := 0; k < numKinds; k++ {
+		s.NodesBuilt[k] = global.nodesBuilt[k].Load()
+		s.BytesMaterialized[k] = global.bytesMat[k].Load()
+	}
+	return s
+}
+
+// The Add* helpers are the kernels' emit sites. Each is a no-op unless
+// counting is enabled; callers pass counts they already computed (loop
+// exit indices, slice lengths), never per-element increments.
+
+// AddMergeSteps accounts steps of a sorted-set merge loop (intersect,
+// diff, union, and their count-only forms).
+func AddMergeSteps(steps int) {
+	if Enabled() {
+		global.tidsCompared.Add(int64(steps))
+		global.mergePicks.Add(1)
+	}
+}
+
+// AddGallop accounts one galloping intersection: probes binary-search
+// sequences (one per short-side element) and steps elements compared.
+func AddGallop(probes, steps int) {
+	if Enabled() {
+		global.gallopPicks.Add(1)
+		global.gallopProbes.Add(int64(probes))
+		global.tidsCompared.Add(int64(steps))
+	}
+}
+
+// AddWordsANDed accounts n 64-bit AND operations.
+func AddWordsANDed(n int) {
+	if Enabled() {
+		global.wordsANDed.Add(int64(n))
+	}
+}
+
+// AddWordsPopcounted accounts n 64-bit popcounts.
+func AddWordsPopcounted(n int) {
+	if Enabled() {
+		global.wordsPopcounted.Add(int64(n))
+	}
+}
+
+// AddNode accounts one materialized payload node of the given kind and
+// byte footprint.
+func AddNode(kind, bytes int) {
+	if Enabled() && kind >= 0 && kind < numKinds {
+		global.nodesBuilt[kind].Add(1)
+		global.bytesMat[kind].Add(int64(bytes))
+	}
+}
+
+// AddHybridFlip accounts one hybrid node that stored the diffset form.
+func AddHybridFlip() {
+	if Enabled() {
+		global.hybridFlips.Add(1)
+	}
+}

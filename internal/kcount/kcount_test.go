@@ -1,0 +1,114 @@
+package kcount
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestDisabledNoOp: with no enabler, the Add helpers record nothing.
+func TestDisabledNoOp(t *testing.T) {
+	if Enabled() {
+		t.Fatal("counters enabled at package init")
+	}
+	before := Snapshot()
+	AddMergeSteps(10)
+	AddGallop(3, 7)
+	AddWordsANDed(5)
+	AddWordsPopcounted(5)
+	AddNode(Tidset, 64)
+	AddHybridFlip()
+	if d := Snapshot().Sub(before); len(d.Map()) != 0 {
+		t.Fatalf("disabled counters recorded %v", d.Map())
+	}
+}
+
+// TestEnableRecordsAndSub: enabled counters accumulate, Sub isolates a
+// window, and Map emits only the non-zero wire fields.
+func TestEnableRecordsAndSub(t *testing.T) {
+	Enable()
+	defer Disable()
+	base := Snapshot()
+	AddMergeSteps(10)
+	AddMergeSteps(5)
+	AddGallop(3, 7)
+	AddWordsANDed(4)
+	AddWordsPopcounted(6)
+	AddNode(Diffset, 128)
+	AddNode(Diffset, 32)
+	AddNode(Hybrid, 8)
+	AddHybridFlip()
+	d := Snapshot().Sub(base)
+	m := d.Map()
+	want := map[string]int64{
+		"tids_compared":              15 + 7, // merge steps + gallop steps
+		"merge_picks":                2,      // two merge dispatches
+		"gallop_picks":               1,      // one gallop dispatch
+		"gallop_probes":              3,
+		"words_anded":                4,
+		"words_popcounted":           6,
+		"nodes_built_diffset":        2,
+		"bytes_materialized_diffset": 160,
+		"nodes_built_hybrid":         1,
+		"bytes_materialized_hybrid":  8,
+		"hybrid_flips":               1,
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("Map()[%q] = %d, want %d", k, m[k], v)
+		}
+	}
+	for k := range m {
+		if _, ok := want[k]; !ok {
+			t.Errorf("Map() has unexpected key %q = %d", k, m[k])
+		}
+	}
+}
+
+// TestRefcount: nested enablers keep counting until the last Disable.
+func TestRefcount(t *testing.T) {
+	Enable()
+	Enable()
+	Disable()
+	if !Enabled() {
+		t.Fatal("inner Disable turned counters off under an outer enabler")
+	}
+	Disable()
+	if Enabled() {
+		t.Fatal("counters still on after matching Disables")
+	}
+}
+
+// TestUnpairedDisablePanics: a Disable without an Enable is a bug.
+func TestUnpairedDisablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unpaired Disable did not panic")
+		}
+	}()
+	Disable()
+}
+
+// TestConcurrentAdds: parallel kernels may add while another goroutine
+// snapshots; run with -race this verifies the atomics.
+func TestConcurrentAdds(t *testing.T) {
+	Enable()
+	defer Disable()
+	base := Snapshot()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				AddMergeSteps(1)
+				AddWordsANDed(2)
+				_ = Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	d := Snapshot().Sub(base)
+	if d.MergePicks != 8000 || d.WordsANDed != 16000 {
+		t.Fatalf("concurrent adds lost updates: merge=%d anded=%d", d.MergePicks, d.WordsANDed)
+	}
+}

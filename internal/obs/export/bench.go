@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
 	"time"
 )
 
@@ -27,12 +30,46 @@ type Bench struct {
 	Itemsets       int64   `json:"itemsets"`
 }
 
+// Provenance records where a benchmark file came from, so a regression
+// flagged months later can be traced to a commit and a machine. All
+// fields are optional in the schema: files written before this stamp
+// existed still validate, and comparisons never key on provenance.
+type Provenance struct {
+	GitCommit  string `json:"git_commit,omitempty"`
+	GoVersion  string `json:"go_version,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs,omitempty"`
+	Hostname   string `json:"hostname,omitempty"`
+}
+
+// CollectProvenance stamps the running binary's build and host facts:
+// the vcs revision embedded by the Go linker (empty for non-VCS
+// builds and plain `go run`), the toolchain version, GOMAXPROCS, and
+// the hostname.
+func CollectProvenance() Provenance {
+	p := Provenance{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if h, err := os.Hostname(); err == nil {
+		p.Hostname = h
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				p.GitCommit = s.Value
+			}
+		}
+	}
+	return p
+}
+
 // BenchFile is the document fimbench -json writes: the schema tag, a
-// generation stamp, and the measurements.
+// generation stamp, provenance, and the measurements.
 type BenchFile struct {
-	Schema          string  `json:"schema"`
-	GeneratedUnixNS int64   `json:"generated_unix_ns,omitempty"`
-	Results         []Bench `json:"results"`
+	Schema          string `json:"schema"`
+	GeneratedUnixNS int64  `json:"generated_unix_ns,omitempty"`
+	Provenance
+	Results []Bench `json:"results"`
 }
 
 // NewBenchFile wraps results in a stamped document.
@@ -40,6 +77,7 @@ func NewBenchFile(results []Bench) *BenchFile {
 	return &BenchFile{
 		Schema:          BenchSchema,
 		GeneratedUnixNS: time.Now().UnixNano(),
+		Provenance:      CollectProvenance(),
 		Results:         results,
 	}
 }

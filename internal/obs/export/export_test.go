@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -212,12 +213,17 @@ func TestServeEndpoints(t *testing.T) {
 	for _, e := range sampleStream() {
 		b.Event(e)
 	}
-	srv, err := Serve("127.0.0.1:0", b)
+	tr := obs.NewTraceRecorder()
+	for _, e := range sampleStream() {
+		tr.Event(e)
+	}
+	tr.ChunkSpan("eclat/pairs", 0, 0, 8, 8, time.Now(), time.Millisecond)
+	srv, err := Serve("127.0.0.1:0", b, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	for _, path := range []string{"/", "/report", "/debug/vars", "/debug/pprof/"} {
+	for _, path := range []string{"/", "/report", "/trace", "/debug/vars", "/debug/pprof/"} {
 		resp, err := http.Get("http://" + srv.Addr() + path)
 		if err != nil {
 			t.Fatalf("%s: %v", path, err)
@@ -242,6 +248,18 @@ func TestServeEndpoints(t *testing.T) {
 	}
 	if rep.Itemsets != 120 {
 		t.Errorf("/report itemsets = %d", rep.Itemsets)
+	}
+	respT, err := http.Get("http://" + srv.Addr() + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := ReadTraceFile(respT.Body)
+	respT.Body.Close()
+	if err != nil {
+		t.Fatalf("/trace did not validate: %v", err)
+	}
+	if rows := tf.WorkerRows(); len(rows) != 1 || rows[0] != 1 {
+		t.Errorf("/trace worker rows = %v, want [1]", rows)
 	}
 	if resp2, err := http.Get("http://" + srv.Addr() + "/nope"); err == nil {
 		if resp2.StatusCode != http.StatusNotFound {

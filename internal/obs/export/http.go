@@ -6,6 +6,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+
+	"repro/internal/obs"
 )
 
 // Server exposes a live run over HTTP — the fimmine -metrics-addr
@@ -13,6 +15,7 @@ import (
 //
 //	/              index with links
 //	/report        the ReportBuilder's current snapshot as JSON
+//	/trace         the span timeline so far, as Chrome trace-event JSON
 //	/debug/vars    expvar (memstats, cmdline)
 //	/debug/pprof/  net/http/pprof profiles
 //
@@ -24,10 +27,12 @@ type Server struct {
 }
 
 // Serve starts an exposition server for b on addr (host:port; ":0"
-// picks a free port — read it back with Addr). It returns once the
-// listener is bound; serving continues in a background goroutine until
-// Close.
-func Serve(addr string, b *ReportBuilder) (*Server, error) {
+// picks a free port — read it back with Addr). tr, when non-nil, backs
+// a live /trace snapshot: each GET renders the spans recorded so far,
+// so a long mine can be inspected in Perfetto mid-run. It returns once
+// the listener is bound; serving continues in a background goroutine
+// until Close.
+func Serve(addr string, b *ReportBuilder, tr *obs.TraceRecorder) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -40,6 +45,7 @@ func Serve(addr string, b *ReportBuilder) (*Server, error) {
 		}
 		fmt.Fprint(w, "<html><body><h1>fim run</h1><ul>"+
 			"<li><a href=\"/report\">/report</a> — run report snapshot</li>"+
+			"<li><a href=\"/trace\">/trace</a> — span timeline (Chrome trace-event JSON)</li>"+
 			"<li><a href=\"/debug/vars\">/debug/vars</a> — expvar</li>"+
 			"<li><a href=\"/debug/pprof/\">/debug/pprof/</a> — profiles</li>"+
 			"</ul></body></html>")
@@ -47,6 +53,16 @@ func Serve(addr string, b *ReportBuilder) (*Server, error) {
 	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := WriteReport(w, b.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if tr == nil {
+			http.Error(w, "no trace recorder attached (run fimmine with -trace)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := WriteTrace(w, BuildTrace(tr)); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

@@ -3,6 +3,7 @@ package export
 import (
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"time"
 
@@ -13,47 +14,100 @@ import (
 // to w — the sink behind fimmine -progress. It writes diagnostics only
 // (no itemsets), so pointing it at stderr keeps piped stdout clean. It
 // is safe for concurrent use.
+//
+// When w is a terminal, the per-loop phase_end lines (the chatty ones —
+// one per scheduler loop) render transiently: each overwrites the last
+// with a carriage return, and the next durable line clears them, so a
+// long run shows a live ticker instead of scrolling loop spam. A run
+// that stops early still ends with full final lines (the stop reason
+// and the done summary), never a half-overwritten ticker. Piped or
+// file output gets plain newline-terminated lines for every event.
 type Progress struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu  sync.Mutex
+	w   io.Writer
+	tty bool
+	// transient reports whether the last write was an unterminated
+	// ticker line that the next write must clear.
+	transient bool
 }
 
-// NewProgress returns a progress printer writing to w.
-func NewProgress(w io.Writer) *Progress { return &Progress{w: w} }
+// NewProgress returns a progress printer writing to w, with terminal
+// rendering when w is a character device.
+func NewProgress(w io.Writer) *Progress {
+	p := &Progress{w: w}
+	if f, ok := w.(*os.File); ok {
+		if st, err := f.Stat(); err == nil && st.Mode()&os.ModeCharDevice != 0 {
+			p.tty = true
+		}
+	}
+	return p
+}
+
+// setTerminal forces terminal rendering on or off (tests and callers
+// that know better than the fd probe).
+func (p *Progress) setTerminal(on bool) {
+	p.mu.Lock()
+	p.tty = on
+	p.mu.Unlock()
+}
+
+// line prints one durable, newline-terminated line, clearing any
+// pending ticker first.
+func (p *Progress) line(format string, args ...any) {
+	if p.transient {
+		fmt.Fprint(p.w, "\r\x1b[K")
+		p.transient = false
+	}
+	fmt.Fprintf(p.w, format+"\n", args...)
+}
+
+// tick prints a transient ticker line on a terminal (overwriting the
+// previous tick); off-terminal it is an ordinary line.
+func (p *Progress) tick(format string, args ...any) {
+	if !p.tty {
+		p.line(format, args...)
+		return
+	}
+	fmt.Fprintf(p.w, "\r"+format+"\x1b[K", args...)
+	p.transient = true
+}
 
 func (p *Progress) Event(e obs.Event) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	switch e.Type {
 	case obs.RunStart:
-		fmt.Fprintf(p.w, "run  %s/%s workers=%d dataset=%s minsup=%d transactions=%d\n",
+		p.line("run  %s/%s workers=%d dataset=%s minsup=%d transactions=%d",
 			e.Algorithm, e.Representation, e.Workers, e.Dataset, e.MinSupport, e.Transactions)
 	case obs.LevelStart:
 		if e.Pruned > 0 {
-			fmt.Fprintf(p.w, "  >> %-24s candidates=%d (pruned %d)\n", e.Phase, e.Candidates, e.Pruned)
+			p.line("  >> %-24s candidates=%d (pruned %d)", e.Phase, e.Candidates, e.Pruned)
 		} else {
-			fmt.Fprintf(p.w, "  >> %-24s candidates=%d\n", e.Phase, e.Candidates)
+			p.line("  >> %-24s candidates=%d", e.Phase, e.Candidates)
 		}
 	case obs.LevelEnd:
-		fmt.Fprintf(p.w, "  << %-24s frequent=%d live=%s elapsed=%v\n",
+		p.line("  << %-24s frequent=%d live=%s elapsed=%v",
 			e.Phase, e.Frequent, fmtBytes(e.LiveBytes), time.Duration(e.ElapsedNS).Round(time.Microsecond))
 	case obs.PhaseEnd:
-		fmt.Fprintf(p.w, "     %-24s loop n=%d sched=%s wall=%v imbalance=%.2f\n",
+		p.tick("     %-24s loop n=%d sched=%s wall=%v imbalance=%.2f",
 			e.Phase, e.Candidates, e.Schedule, time.Duration(e.ElapsedNS).Round(time.Microsecond), e.Imbalance)
 	case obs.BudgetWarning:
-		fmt.Fprintf(p.w, "  !! %s budget at %.0f%% (%d of %d)\n",
+		p.line("  !! %s budget at %.0f%% (%d of %d)",
 			e.Resource, e.Fraction*100, e.Used, e.Limit)
 	case obs.Degraded:
-		fmt.Fprintf(p.w, "  !! degraded to %s at level %d (live=%s)\n",
+		p.line("  !! degraded to %s at level %d (live=%s)",
 			e.Representation, e.Level, fmtBytes(e.LiveBytes))
+	case obs.KernelCounters:
+		// Silent on the ticker: counter dumps are for the report/events
+		// sinks, not the human progress feed.
 	case obs.Stop:
-		fmt.Fprintf(p.w, "  xx stopped: %s (%s)\n", e.Reason, e.Err)
+		p.line("  xx stopped: %s (%s)", e.Reason, e.Err)
 	case obs.RunEnd:
 		status := "complete"
 		if e.Incomplete {
 			status = "incomplete"
 		}
-		fmt.Fprintf(p.w, "done %s itemsets=%d maxk=%d peak=%s elapsed=%v\n",
+		p.line("done %s itemsets=%d maxk=%d peak=%s elapsed=%v",
 			status, e.Itemsets, e.MaxK, fmtBytes(e.PeakLiveBytes),
 			time.Duration(e.ElapsedNS).Round(time.Millisecond))
 	}

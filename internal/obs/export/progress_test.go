@@ -1,0 +1,71 @@
+package export
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestProgressNonTerminal: piped output is plain newline-terminated
+// lines — one per rendered event, no carriage returns or escapes.
+func TestProgressNonTerminal(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf)
+	for _, e := range sampleStream() {
+		p.Event(e)
+	}
+	out := buf.String()
+	if strings.ContainsAny(out, "\r\x1b") {
+		t.Errorf("non-terminal output carries control sequences:\n%q", out)
+	}
+	if n := strings.Count(out, "\n"); n != len(sampleStream()) {
+		t.Errorf("%d lines for %d events:\n%s", n, len(sampleStream()), out)
+	}
+}
+
+// TestProgressTerminalTicker: on a terminal the phase_end lines render
+// as a self-overwriting ticker, and the next durable line clears it.
+func TestProgressTerminalTicker(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf)
+	p.setTerminal(true)
+	p.Event(obs.Event{Type: obs.PhaseEnd, Phase: "eclat/pairs", Schedule: "dynamic", Candidates: 10})
+	mid := buf.String()
+	if !strings.HasPrefix(mid, "\r") || !strings.HasSuffix(mid, "\x1b[K") {
+		t.Errorf("tick not rendered transiently: %q", mid)
+	}
+	if strings.Contains(mid, "\n") {
+		t.Errorf("tick terminated the line: %q", mid)
+	}
+	p.Event(obs.Event{Type: obs.PhaseEnd, Phase: "eclat/expand3", Schedule: "dynamic", Candidates: 5})
+	p.Event(obs.Event{Type: obs.LevelEnd, Phase: "eclat/expand3", Frequent: 5})
+	out := buf.String()
+	if !strings.Contains(out, "\r\x1b[K  << ") {
+		t.Errorf("durable line did not clear the ticker:\n%q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Errorf("durable line not newline-terminated:\n%q", out)
+	}
+}
+
+// TestProgressTerminalEarlyStop: a run stopped mid-ticker still ends
+// with full stop and done lines, not a half-overwritten tick.
+func TestProgressTerminalEarlyStop(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf)
+	p.setTerminal(true)
+	p.Event(obs.Event{Type: obs.RunStart, Algorithm: "eclat", Representation: "diffset", Workers: 4})
+	p.Event(obs.Event{Type: obs.PhaseEnd, Phase: "eclat/classes", Schedule: "dynamic", Candidates: 64})
+	p.Event(obs.Event{Type: obs.Stop, Reason: "budget:memory", Err: "memory budget exceeded"})
+	p.Event(obs.Event{Type: obs.RunEnd, Algorithm: "eclat", Itemsets: 42, Incomplete: true})
+	out := buf.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("early-stop output not newline-terminated:\n%q", out)
+	}
+	final := out[strings.LastIndex(strings.TrimRight(out, "\n"), "\r\x1b[K")+len("\r\x1b[K"):]
+	if !strings.Contains(final, "stopped: budget:memory") || !strings.Contains(final, "done incomplete itemsets=42") {
+		t.Errorf("final lines missing stop reason or summary:\n%q", out)
+	}
+}

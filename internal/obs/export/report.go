@@ -93,6 +93,11 @@ type Report struct {
 	DegradedAtLevel int       `json:"degraded_at_level,omitempty"`
 	Stop            *StopInfo `json:"stop,omitempty"`
 
+	// KernelCounters holds the run's per-kernel operation totals
+	// (kernel_counters event), keyed by kcount's wire names. Optional:
+	// absent from reports of runs predating the counter layer.
+	KernelCounters map[string]int64 `json:"kernel_counters,omitempty"`
+
 	// Totals (from run_end).
 	Itemsets      int64 `json:"itemsets"`
 	MaxK          int   `json:"max_k"`
@@ -189,6 +194,13 @@ func (b *ReportBuilder) Event(e obs.Event) {
 		if b.r.Stop == nil {
 			b.r.Stop = &StopInfo{Reason: e.Reason, Error: e.Err}
 		}
+	case obs.KernelCounters:
+		if len(e.Counters) > 0 {
+			b.r.KernelCounters = make(map[string]int64, len(e.Counters))
+			for k, v := range e.Counters {
+				b.r.KernelCounters[k] = v
+			}
+		}
 	case obs.RunEnd:
 		if b.r.Algorithm == "" {
 			b.r.Algorithm = e.Algorithm
@@ -218,6 +230,12 @@ func (b *ReportBuilder) Snapshot() *Report {
 	if b.r.Stop != nil {
 		s := *b.r.Stop
 		cp.Stop = &s
+	}
+	if b.r.KernelCounters != nil {
+		cp.KernelCounters = make(map[string]int64, len(b.r.KernelCounters))
+		for k, v := range b.r.KernelCounters {
+			cp.KernelCounters[k] = v
+		}
 	}
 	return &cp
 }
@@ -292,6 +310,11 @@ func ValidateReport(r *Report) error {
 			return fmt.Errorf("export: phase %q worker tasks sum %d != n %d", p.Phase, tasks, p.N)
 		}
 	}
+	for k, v := range r.KernelCounters {
+		if v < 0 {
+			return fmt.Errorf("export: kernel counter %q negative (%d)", k, v)
+		}
+	}
 	if r.Stop != nil && !r.Incomplete {
 		return fmt.Errorf("export: stop recorded but run not marked incomplete")
 	}
@@ -342,7 +365,7 @@ func ValidateEvents(events []obs.Event) error {
 			if seenEnd[e.Phase] > 1 {
 				return fmt.Errorf("export: level %q closed %d times", e.Phase, seenEnd[e.Phase])
 			}
-		case obs.PhaseEnd, obs.BudgetWarning, obs.Degraded, obs.Stop:
+		case obs.PhaseEnd, obs.BudgetWarning, obs.Degraded, obs.Stop, obs.KernelCounters:
 			// Interleaved control-plane events carry no ordering
 			// obligation beyond being inside the run.
 		default:

@@ -1,0 +1,180 @@
+package export
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// sampleRecorder builds a recorder with a run span, one level span and
+// chunk spans on two workers with known durations.
+func sampleRecorder() *obs.TraceRecorder {
+	tr := obs.NewTraceRecorder()
+	t0 := time.Now()
+	tr.Event(obs.Event{Type: obs.RunStart, Algorithm: "eclat", Representation: "tidset",
+		Workers: 2, Dataset: "chess"})
+	tr.Event(obs.Event{Type: obs.LevelStart, Level: 2, Phase: "eclat/pairs"})
+	tr.ChunkSpan("eclat/pairs", 0, 0, 4, 4, t0, 4*time.Millisecond)
+	tr.ChunkSpan("eclat/pairs", 1, 4, 8, 4, t0.Add(time.Millisecond), 6*time.Millisecond)
+	tr.Event(obs.Event{Type: obs.LevelEnd, Level: 2, Phase: "eclat/pairs",
+		ElapsedNS: int64(7 * time.Millisecond)})
+	tr.Event(obs.Event{Type: obs.RunEnd, Algorithm: "eclat",
+		ElapsedNS: int64(10 * time.Millisecond)})
+	return tr
+}
+
+// matchingEvents is the phase_end stream whose load metrics agree with
+// sampleRecorder's chunk spans exactly.
+func matchingEvents() []obs.Event {
+	return []obs.Event{
+		{Type: obs.PhaseEnd, Phase: "eclat/pairs", Load: []obs.WorkerLoad{
+			{Worker: 0, BusyNS: int64(4 * time.Millisecond), Tasks: 4, Chunks: 1},
+			{Worker: 1, BusyNS: int64(6 * time.Millisecond), Tasks: 4, Chunks: 1},
+		}},
+	}
+}
+
+// TestBuildTraceShape: rebased timestamps, labeled rows, chunk args,
+// run args, and schema validity.
+func TestBuildTraceShape(t *testing.T) {
+	tf := BuildTrace(sampleRecorder())
+	if err := ValidateTrace(tf); err != nil {
+		t.Fatal(err)
+	}
+	if rows := tf.WorkerRows(); len(rows) != 2 || rows[0] != 1 || rows[1] != 2 {
+		t.Errorf("WorkerRows() = %v, want [1 2]", rows)
+	}
+	names := map[int]string{}
+	var sawZeroTS bool
+	var runArgs map[string]any
+	for _, e := range tf.TraceEvents {
+		switch {
+		case e.Ph == "M" && e.Name == "thread_name":
+			names[e.TID] = e.Args["name"].(string)
+		case e.Ph == "X":
+			if e.TS == 0 {
+				sawZeroTS = true
+			}
+			if e.Cat == obs.SpanChunk && e.Args["lo"] == nil {
+				t.Errorf("chunk span %q missing lo/hi args", e.Name)
+			}
+			if e.Cat == obs.SpanRun {
+				runArgs = e.Args
+			}
+		}
+	}
+	if names[0] != "coordinator" || names[1] != "worker 0" || names[2] != "worker 1" {
+		t.Errorf("row names = %v", names)
+	}
+	if !sawZeroTS {
+		t.Error("no span rebased to ts 0")
+	}
+	if runArgs == nil || runArgs["algorithm"] != "eclat" || runArgs["dataset"] != "chess" {
+		t.Errorf("run span args = %v", runArgs)
+	}
+}
+
+// TestTraceRoundTrip: write, read back, validate.
+func TestTraceRoundTrip(t *testing.T) {
+	tf := BuildTrace(sampleRecorder())
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTraceFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.TraceEvents) != len(tf.TraceEvents) {
+		t.Errorf("round trip kept %d of %d events", len(back.TraceEvents), len(tf.TraceEvents))
+	}
+}
+
+// TestValidateTraceRejects: each schema violation is caught with a
+// pointed error.
+func TestValidateTraceRejects(t *testing.T) {
+	base := func() *TraceFile { return BuildTrace(sampleRecorder()) }
+	cases := []struct {
+		name   string
+		mutate func(*TraceFile)
+		want   string
+	}{
+		{"empty", func(tf *TraceFile) { tf.TraceEvents = nil }, "empty"},
+		{"unnamed", func(tf *TraceFile) { tf.TraceEvents[3].Name = "" }, "unnamed"},
+		{"bad pid", func(tf *TraceFile) { tf.TraceEvents[3].PID = 9 }, "pid"},
+		{"bad phase", func(tf *TraceFile) { tf.TraceEvents[3].Ph = "B" }, "phase"},
+		{"negative ts", func(tf *TraceFile) {
+			for i := range tf.TraceEvents {
+				if tf.TraceEvents[i].Ph == "X" {
+					tf.TraceEvents[i].TS = -1
+					return
+				}
+			}
+		}, "negative"},
+		{"chunk off worker row", func(tf *TraceFile) {
+			for i := range tf.TraceEvents {
+				if tf.TraceEvents[i].Cat == obs.SpanChunk {
+					tf.TraceEvents[i].TID = 0
+					return
+				}
+			}
+		}, "non-worker"},
+		{"level off coordinator", func(tf *TraceFile) {
+			for i := range tf.TraceEvents {
+				if tf.TraceEvents[i].Cat == obs.SpanLevel {
+					tf.TraceEvents[i].TID = 1
+					return
+				}
+			}
+		}, "coordinator"},
+		{"unlabeled row", func(tf *TraceFile) {
+			kept := tf.TraceEvents[:0]
+			for _, e := range tf.TraceEvents {
+				if !(e.Ph == "M" && e.TID == 2) {
+					kept = append(kept, e)
+				}
+			}
+			tf.TraceEvents = kept
+		}, "thread_name"},
+	}
+	for _, c := range cases {
+		tf := base()
+		c.mutate(tf)
+		err := ValidateTrace(tf)
+		if err == nil {
+			t.Errorf("%s: violation not caught", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestCrossCheckTrace: agreement passes, a 2x busy-time disagreement
+// fails, and a capped trace refuses the check.
+func TestCrossCheckTrace(t *testing.T) {
+	tf := BuildTrace(sampleRecorder())
+	if err := CrossCheckTrace(tf, matchingEvents(), 0.05); err != nil {
+		t.Errorf("matching totals rejected: %v", err)
+	}
+
+	skewed := matchingEvents()
+	skewed[0].Load[1].BusyNS *= 2
+	if err := CrossCheckTrace(tf, skewed, 0.05); err == nil {
+		t.Error("2x busy-time disagreement not caught")
+	} else if !strings.Contains(err.Error(), "worker 1") {
+		t.Errorf("disagreement error does not name the worker: %v", err)
+	}
+
+	capped := obs.NewTraceRecorder()
+	capped.SetLimit(1)
+	capped.ChunkSpan("p", 0, 0, 1, 1, time.Now(), time.Millisecond)
+	capped.ChunkSpan("p", 0, 1, 2, 1, time.Now(), time.Millisecond)
+	if err := CrossCheckTrace(BuildTrace(capped), nil, 0.05); err == nil {
+		t.Error("capped trace cross-checked despite dropped spans")
+	}
+}

@@ -59,6 +59,12 @@ const (
 	// "budget:memory", "budget:itemsets", "budget:duration",
 	// "worker-panic", or "error".
 	Stop Type = "stop"
+	// KernelCounters reports the run's per-kernel operation totals
+	// (internal/kcount: tidset merge/gallop steps, bitvector word
+	// ANDs/popcounts, nodes and bytes materialized per representation,
+	// hybrid flips) as a flat name→count map. Emitted once, before
+	// run_end, when an observer is attached.
+	KernelCounters Type = "kernel_counters"
 	// RunEnd closes the stream with the run's totals, peak live payload
 	// bytes, and completion status. It is emitted for complete and
 	// incomplete runs alike.
@@ -112,6 +118,10 @@ type Event struct {
 	Fraction float64 `json:"fraction,omitempty"`
 	Used     int64   `json:"used,omitempty"`
 	Limit    int64   `json:"limit,omitempty"`
+
+	// Counters carries the kernel operation totals (kernel_counters),
+	// keyed by the wire names of kcount.Stats.Map.
+	Counters map[string]int64 `json:"counters,omitempty"`
 
 	// Outcome (stop, run_end).
 	Reason        string `json:"reason,omitempty"`

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceRecorderSpans: the event stream yields run/level coordinator
+// spans, chunk calls yield worker spans, and the per-worker busy sums
+// match the recorded durations.
+func TestTraceRecorderSpans(t *testing.T) {
+	tr := NewTraceRecorder()
+	tr.Event(Event{Type: RunStart, Algorithm: "eclat", Workers: 2})
+	tr.Event(Event{Type: LevelStart, Level: 2, Phase: "eclat/pairs"})
+	tr.ChunkSpan("eclat/pairs", 0, 0, 4, 4, time.Now(), 3*time.Millisecond)
+	tr.ChunkSpan("eclat/pairs", 1, 4, 8, 4, time.Now(), 5*time.Millisecond)
+	tr.ChunkSpan("eclat/pairs", 0, 8, 10, 2, time.Now(), 1*time.Millisecond)
+	tr.Event(Event{Type: LevelEnd, Level: 2, Phase: "eclat/pairs", ElapsedNS: int64(9 * time.Millisecond)})
+	tr.Event(Event{Type: RunEnd, Algorithm: "eclat", ElapsedNS: int64(12 * time.Millisecond)})
+
+	spans := tr.Spans()
+	var runs, levels, chunks int
+	for _, s := range spans {
+		switch s.Cat {
+		case SpanRun:
+			runs++
+			if s.Worker != -1 || s.Name != "eclat" {
+				t.Errorf("run span = %+v", s)
+			}
+			if s.DurNS < int64(12*time.Millisecond) {
+				t.Errorf("run span duration %d below the event's ElapsedNS", s.DurNS)
+			}
+		case SpanLevel:
+			levels++
+			if s.Worker != -1 || s.Name != "eclat/pairs" {
+				t.Errorf("level span = %+v", s)
+			}
+		case SpanChunk:
+			chunks++
+			if s.Worker < 0 || s.Hi <= s.Lo {
+				t.Errorf("chunk span = %+v", s)
+			}
+		}
+	}
+	if runs != 1 || levels != 1 || chunks != 3 {
+		t.Fatalf("spans: %d run, %d level, %d chunk; want 1/1/3", runs, levels, chunks)
+	}
+	if tr.Workers() != 2 {
+		t.Errorf("Workers() = %d, want 2", tr.Workers())
+	}
+	busy := tr.BusyByWorker()
+	if len(busy) != 2 || busy[0] != 4*time.Millisecond || busy[1] != 5*time.Millisecond {
+		t.Errorf("BusyByWorker() = %v", busy)
+	}
+	if tr.Run().Algorithm != "eclat" {
+		t.Errorf("Run() = %+v", tr.Run())
+	}
+}
+
+// TestTraceRecorderUnpaired: a level_end without a level_start, or a
+// run_end without a run_start, records nothing rather than garbage.
+func TestTraceRecorderUnpaired(t *testing.T) {
+	tr := NewTraceRecorder()
+	tr.Event(Event{Type: LevelEnd, Phase: "ghost"})
+	tr.Event(Event{Type: RunEnd})
+	if n := len(tr.Spans()); n != 0 {
+		t.Fatalf("unpaired ends produced %d spans", n)
+	}
+}
+
+// TestTraceRecorderLimit: past the cap, spans are counted as dropped,
+// not retained.
+func TestTraceRecorderLimit(t *testing.T) {
+	tr := NewTraceRecorder()
+	tr.SetLimit(2)
+	for i := 0; i < 5; i++ {
+		tr.ChunkSpan("p", 0, i, i+1, 1, time.Now(), time.Microsecond)
+	}
+	if n := len(tr.Spans()); n != 2 {
+		t.Errorf("retained %d spans past a cap of 2", n)
+	}
+	if d := tr.Dropped(); d != 3 {
+		t.Errorf("Dropped() = %d, want 3", d)
+	}
+}
+
+// TestTraceRecorderNil: every method is a safe no-op on a nil receiver.
+func TestTraceRecorderNil(t *testing.T) {
+	var tr *TraceRecorder
+	tr.Event(Event{Type: RunStart})
+	tr.ChunkSpan("p", 0, 0, 1, 1, time.Now(), 0)
+	if tr.Spans() != nil || tr.Workers() != 0 || tr.Dropped() != 0 || tr.BusyByWorker() != nil {
+		t.Error("nil recorder returned non-zero state")
+	}
+}
+
+// TestTraceRecorderConcurrent exercises chunk recording from many
+// goroutines against the coordinator's event stream (run with -race).
+func TestTraceRecorderConcurrent(t *testing.T) {
+	tr := NewTraceRecorder()
+	tr.Event(Event{Type: RunStart, Algorithm: "eclat"})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.ChunkSpan("p", w, i, i+1, 1, time.Now(), time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	tr.Event(Event{Type: RunEnd, ElapsedNS: 1})
+	if n := len(tr.Spans()); n != 4*200+1 {
+		t.Fatalf("recorded %d spans, want %d", n, 4*200+1)
+	}
+	if tr.Workers() != 4 {
+		t.Errorf("Workers() = %d, want 4", tr.Workers())
+	}
+}

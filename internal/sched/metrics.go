@@ -96,6 +96,15 @@ func (p *PhaseStats) Imbalance() float64 {
 	return float64(p.MaxBusy()) / float64(mean)
 }
 
+// ChunkTracer receives one call per executed scheduler chunk, from the
+// worker goroutine that ran it, with the same start time and busy
+// duration the load metrics account — the hook behind the span
+// timeline (obs.TraceRecorder implements it). Implementations must be
+// safe for concurrent use and must not block for long.
+type ChunkTracer interface {
+	ChunkSpan(phase string, worker, lo, hi int, tasks int64, start time.Time, dur time.Duration)
+}
+
 // Metrics accumulates the PhaseStats of a run's loops. Attach one to a
 // Team with SetMetrics; label the next loop with Label. Safe for
 // concurrent use, though the miners run their loops sequentially.
@@ -104,10 +113,23 @@ type Metrics struct {
 	pending string
 	phases  []*PhaseStats
 	drained int
+	tracer  ChunkTracer
 }
 
 // NewMetrics returns an empty Metrics.
 func NewMetrics() *Metrics { return &Metrics{} }
+
+// SetTracer attaches a chunk-span sink: every executed chunk of every
+// subsequent loop is forwarded to t with its phase label, worker,
+// iteration range and timing. nil detaches. Nil-safe.
+func (m *Metrics) SetTracer(t ChunkTracer) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.tracer = t
+	m.mu.Unlock()
+}
 
 // Label names the next loop recorded; unlabeled loops get "loop<k>".
 // Nil-safe.
@@ -161,10 +183,13 @@ func (m *Metrics) Drain() []*PhaseStats {
 
 // phaseRec is one loop's in-flight record. Workers write their own
 // WorkerStats slot (distinct indices, no atomics; the coordinator's
-// wg.Wait orders the writes before finish publishes the record).
+// wg.Wait orders the writes before finish publishes the record). The
+// tracer reference is captured at begin so SetTracer mid-loop cannot
+// race the workers.
 type phaseRec struct {
-	ps    *PhaseStats
-	start time.Time
+	ps     *PhaseStats
+	start  time.Time
+	tracer ChunkTracer
 }
 
 // begin opens a loop record of n iterations on p workers, consuming the
@@ -179,10 +204,12 @@ func (m *Metrics) begin(n, p int, s Schedule) *phaseRec {
 	if name == "" {
 		name = fmt.Sprintf("loop%d", len(m.phases)+1)
 	}
+	tracer := m.tracer
 	m.mu.Unlock()
 	return &phaseRec{
-		ps:    &PhaseStats{Name: name, Schedule: s, N: n, Workers: make([]WorkerStats, p)},
-		start: time.Now(),
+		ps:     &PhaseStats{Name: name, Schedule: s, N: n, Workers: make([]WorkerStats, p)},
+		start:  time.Now(),
+		tracer: tracer,
 	}
 }
 
@@ -197,10 +224,16 @@ func (r *phaseRec) finish(m *Metrics) {
 	m.mu.Unlock()
 }
 
-// addChunk accounts one executed chunk for worker w.
-func (r *phaseRec) addChunk(w int, tasks int64, busy time.Duration) {
+// addChunk accounts one executed chunk [lo, hi) for worker w, started
+// at t0, and forwards it to the chunk tracer when one is attached. The
+// same busy duration feeds both sinks, so span totals and load metrics
+// agree by construction.
+func (r *phaseRec) addChunk(w, lo, hi int, tasks int64, t0 time.Time, busy time.Duration) {
 	ws := &r.ps.Workers[w]
 	ws.Busy += busy
 	ws.Tasks += tasks
 	ws.Chunks++
+	if r.tracer != nil {
+		r.tracer.ChunkSpan(r.ps.Name, w, lo, hi, tasks, t0, busy)
+	}
 }

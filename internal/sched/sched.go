@@ -320,7 +320,7 @@ func (ls *loopState) runWorker(w int, ch Chunker, body func(worker, i int)) {
 		}
 		t0 := time.Now()
 		done, completed := ls.runChunk(w, lo, hi, body)
-		ls.rec.addChunk(w, int64(done), time.Since(t0))
+		ls.rec.addChunk(w, lo, hi, int64(done), t0, time.Since(t0))
 		if !completed {
 			return
 		}
@@ -417,7 +417,7 @@ func (t *Team) ForChunksCtx(rc *runctl.Control, n int, s Schedule, body func(wor
 			}
 			t0 := time.Now()
 			body(w, lo, hi)
-			ls.rec.addChunk(w, int64(hi-lo), time.Since(t0))
+			ls.rec.addChunk(w, lo, hi, int64(hi-lo), t0, time.Since(t0))
 		}
 	}
 	if p == 1 {

@@ -12,7 +12,11 @@
 // recycle per-worker scratch space without touching the allocator.
 package tidset
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/kcount"
+)
 
 // TID is a transaction identifier: the 0-based position of a transaction
 // in its database.
@@ -114,6 +118,7 @@ func (s Set) IntersectInto(t Set, dst Set) Set {
 			j++
 		}
 	}
+	kcount.AddMergeSteps(i + j)
 	return dst
 }
 
@@ -122,10 +127,15 @@ func (s Set) IntersectInto(t Set, dst Set) Set {
 const gallopRatio = 16
 
 // gallopIntersect intersects short s against long t by exponential +
-// binary search.
+// binary search. The kernel counter charges one gallop pick per call
+// and one probe sequence per short-side element actually processed;
+// the counts come from the loop index, so the disabled path pays
+// nothing inside the loop.
 func gallopIntersect(s, t Set, dst Set) Set {
 	lo := 0
-	for _, x := range s {
+	si := 0
+	for ; si < len(s); si++ {
+		x := s[si]
 		// Exponential probe from lo.
 		hi, step := lo, 1
 		for hi < len(t) && t[hi] < x {
@@ -145,9 +155,11 @@ func gallopIntersect(s, t Set, dst Set) Set {
 			lo = k
 		}
 		if lo >= len(t) {
+			si++
 			break
 		}
 	}
+	kcount.AddGallop(si, si)
 	return dst
 }
 
@@ -173,6 +185,7 @@ func (s Set) DiffInto(t Set, dst Set) Set {
 			j++
 		}
 	}
+	kcount.AddMergeSteps(i + j)
 	return append(dst, s[i:]...)
 }
 
@@ -192,6 +205,7 @@ func (s Set) DiffSize(t Set) int {
 			j++
 		}
 	}
+	kcount.AddMergeSteps(i + j)
 	return n + len(s) - i
 }
 
@@ -214,6 +228,7 @@ func (s Set) Union(t Set) Set {
 			j++
 		}
 	}
+	kcount.AddMergeSteps(i + j)
 	dst = append(dst, s[i:]...)
 	return append(dst, t[j:]...)
 }
@@ -237,6 +252,7 @@ func (s Set) IntersectSize(t Set) int {
 			j++
 		}
 	}
+	kcount.AddMergeSteps(i + j)
 	return n
 }
 

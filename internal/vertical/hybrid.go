@@ -2,6 +2,7 @@ package vertical
 
 import (
 	"repro/internal/dataset"
+	"repro/internal/kcount"
 	"repro/internal/tidset"
 )
 
@@ -40,6 +41,7 @@ func (hybridRep) Roots(rec *dataset.Recoded) []Node {
 	nodes := make([]Node, len(sets))
 	for i, s := range sets {
 		nodes[i] = &HybridNode{set: s, sup: len(s)}
+		kcount.AddNode(kcount.Hybrid, 4*len(s))
 	}
 	return nodes
 }
@@ -57,23 +59,29 @@ func (hybridRep) Roots(rec *dataset.Recoded) []Node {
 // case) is kept.
 func (hybridRep) Combine(px, py Node) Node {
 	a, b := px.(*HybridNode), py.(*HybridNode)
+	n := func(h *HybridNode) Node {
+		kcount.AddNode(kcount.Hybrid, h.Bytes())
+		return h
+	}
 	switch {
 	case !a.isDiff && !b.isDiff:
 		t := a.set.Intersect(b.set)
 		// Diffset relative to PX: what PX has that the child lost.
 		if d := len(a.set) - len(t); d < len(t) {
-			return &HybridNode{set: a.set.Diff(t), isDiff: true, sup: len(t)}
+			// The dEclat switch-over: a tidset lineage turning diffset.
+			kcount.AddHybridFlip()
+			return n(&HybridNode{set: a.set.Diff(t), isDiff: true, sup: len(t)})
 		}
-		return &HybridNode{set: t, sup: len(t)}
+		return n(&HybridNode{set: t, sup: len(t)})
 	case !a.isDiff && b.isDiff:
 		t := a.set.Diff(b.set)
-		return &HybridNode{set: t, sup: len(t)}
+		return n(&HybridNode{set: t, sup: len(t)})
 	case a.isDiff && !b.isDiff:
 		t := b.set.Diff(a.set)
-		return &HybridNode{set: t, sup: len(t)}
+		return n(&HybridNode{set: t, sup: len(t)})
 	default:
 		d := b.set.Diff(a.set)
-		return &HybridNode{set: d, isDiff: true, sup: a.sup - len(d)}
+		return n(&HybridNode{set: d, isDiff: true, sup: a.sup - len(d)})
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/dataset"
+	"repro/internal/kcount"
 	"repro/internal/tidset"
 )
 
@@ -127,13 +128,16 @@ func (tidsetRep) Roots(rec *dataset.Recoded) []Node {
 	nodes := make([]Node, len(sets))
 	for i, s := range sets {
 		nodes[i] = &TidsetNode{TIDs: s}
+		kcount.AddNode(kcount.Tidset, 4*len(s))
 	}
 	return nodes
 }
 
 func (tidsetRep) Combine(px, py Node) Node {
 	a, b := px.(*TidsetNode), py.(*TidsetNode)
-	return &TidsetNode{TIDs: a.TIDs.Intersect(b.TIDs)}
+	n := &TidsetNode{TIDs: a.TIDs.Intersect(b.TIDs)}
+	kcount.AddNode(kcount.Tidset, n.Bytes())
+	return n
 }
 
 // --- bitvector --------------------------------------------------------
@@ -157,6 +161,7 @@ func (bitvectorRep) Roots(rec *dataset.Recoded) []Node {
 	nodes := make([]Node, len(sets))
 	for i, s := range sets {
 		nodes[i] = &BitvectorNode{Bits: bitvec.FromTIDs(n, s), sup: len(s)}
+		kcount.AddNode(kcount.Bitvector, nodes[i].Bytes())
 	}
 	return nodes
 }
@@ -164,7 +169,9 @@ func (bitvectorRep) Roots(rec *dataset.Recoded) []Node {
 func (bitvectorRep) Combine(px, py Node) Node {
 	a, b := px.(*BitvectorNode), py.(*BitvectorNode)
 	v := a.Bits.And(b.Bits)
-	return &BitvectorNode{Bits: v, sup: v.Count()}
+	n := &BitvectorNode{Bits: v, sup: v.Count()}
+	kcount.AddNode(kcount.Bitvector, n.Bytes())
+	return n
 }
 
 // --- diffset ----------------------------------------------------------
@@ -198,6 +205,7 @@ func (diffsetRep) Roots(rec *dataset.Recoded) []Node {
 	nodes := make([]Node, len(sets))
 	for i, s := range sets {
 		nodes[i] = &DiffsetNode{Diff: s.Complement(n), sup: len(s)}
+		kcount.AddNode(kcount.Diffset, nodes[i].Bytes())
 	}
 	return nodes
 }
@@ -205,6 +213,7 @@ func (diffsetRep) Roots(rec *dataset.Recoded) []Node {
 func (diffsetRep) Combine(px, py Node) Node {
 	a, b := px.(*DiffsetNode), py.(*DiffsetNode)
 	d := b.Diff.Diff(a.Diff) // d(PXY) = d(PY) − d(PX)
+	kcount.AddNode(kcount.Diffset, 4*len(d))
 	return &DiffsetNode{Diff: d, sup: a.sup - len(d)}
 }
 

@@ -8,6 +8,7 @@ package fim
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -430,6 +431,46 @@ func TestStopReason(t *testing.T) {
 	for _, c := range cases {
 		if got := StopReason(c.err); got != c.want {
 			t.Errorf("StopReason(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+// TestStopReasonGoldenList freezes the complete reason vocabulary.
+// Report and event consumers switch on these strings (stop events,
+// fim-run-report/v1 stop_reason), so adding a reason is fine but
+// renaming one is a breaking schema change — update consumers and this
+// list together.
+func TestStopReasonGoldenList(t *testing.T) {
+	golden := map[string]bool{
+		"":                true,
+		"worker-panic":    true,
+		"budget:memory":   true,
+		"budget:itemsets": true,
+		"budget:duration": true,
+		"canceled":        true,
+		"deadline":        true,
+		"error":           true,
+	}
+	produced := []string{
+		StopReason(nil),
+		StopReason(&WorkerPanicError{Value: "x"}),
+		StopReason(&BudgetError{Resource: "memory"}),
+		StopReason(&BudgetError{Resource: "itemsets"}),
+		StopReason(&BudgetError{Resource: "duration"}),
+		StopReason(context.Canceled),
+		StopReason(context.DeadlineExceeded),
+		StopReason(errors.New("disk on fire")),
+	}
+	seen := map[string]bool{}
+	for _, r := range produced {
+		if !golden[r] {
+			t.Errorf("StopReason produced %q, not in the golden list", r)
+		}
+		seen[r] = true
+	}
+	for r := range golden {
+		if !seen[r] {
+			t.Errorf("golden reason %q no longer produced", r)
 		}
 	}
 }
