@@ -1,7 +1,7 @@
 // Command benchdiff compares fim-bench/v1 benchmark files cell by cell
 // and gates CI on regressions. The first file is the baseline; every
 // later file is diffed against it in order. A cell (dataset, algorithm,
-// representation, threads) regresses when its best wall time grows past
+// representation, schedule, threads) regresses when its best wall time grows past
 // -tolerance (new/old ratio); itemset-count disagreement is always a
 // hard error regardless of tolerance, because the miners are
 // deterministic. Cells present in only one file are reported but never
@@ -12,6 +12,11 @@
 //
 //	benchdiff results/BENCH_bench.json new.json
 //	benchdiff -tolerance 3 -history results/BENCH_history.jsonl baseline.json new.json
+//	benchdiff -ignore-sched dynamic.json steal.json
+//
+// -ignore-sched strips the schedule from every cell before diffing, so
+// a file measured under one schedule (fimbench -json ... -sched steal)
+// compares cell-for-cell against a default-schedule baseline.
 //
 // With -history, the newest file's cells are appended as one line of the
 // append-only fim-bench-history/v1 JSONL log (written even when the gate
@@ -33,8 +38,9 @@ func main() {
 	tol := flag.Float64("tolerance", 1.5, "max allowed new/old wall-time ratio per cell")
 	historyPath := flag.String("history", "", "append the newest file's cells to this fim-bench-history/v1 JSONL log")
 	label := flag.String("label", "", "label for the history entry (e.g. a git ref)")
+	ignoreSched := flag.Bool("ignore-sched", false, "collapse schedule variants onto their base cells before diffing (e.g. steal file vs default baseline)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance R] [-history FILE] [-label S] baseline.json new.json...")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance R] [-history FILE] [-label S] [-ignore-sched] baseline.json new.json...")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -58,6 +64,9 @@ func main() {
 		f.Close()
 		if err != nil {
 			fatal(fmt.Errorf("benchdiff: %s: %w", path, err))
+		}
+		if *ignoreSched {
+			export.StripSchedule(files[i])
 		}
 	}
 

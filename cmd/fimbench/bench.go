@@ -12,15 +12,19 @@ import (
 
 // benchConfigs is the standardized real-hardware benchmark matrix: the
 // paper's two dense datasets at their default supports, the preferred
-// configuration of each algorithm family. Frozen so BENCH_*.json files
-// from different commits stay comparable.
+// configuration of each algorithm family, plus Eclat under the
+// work-stealing schedule (its cells carry schedule "steal", so they
+// never collide with the default-schedule cells). Frozen so
+// BENCH_*.json files from different commits stay comparable.
 var benchConfigs = []struct {
-	algo fim.Algorithm
-	rep  fim.Representation
+	algo  fim.Algorithm
+	rep   fim.Representation
+	sched string // "" = the algorithm's default schedule
 }{
-	{fim.Apriori, fim.Diffset},
-	{fim.Eclat, fim.Diffset},
-	{fim.FPGrowth, fim.Diffset},
+	{fim.Apriori, fim.Diffset, ""},
+	{fim.Eclat, fim.Diffset, ""},
+	{fim.FPGrowth, fim.Diffset, ""},
+	{fim.Eclat, fim.Diffset, "steal"},
 }
 
 var benchDatasets = []string{"chess", "mushroom"}
@@ -32,7 +36,12 @@ var benchDatasets = []string{"chess", "mushroom"}
 // recorded, so consumers can aggregate however they like. names
 // restricts the dataset set (CI benches mushroom only against the
 // full committed baseline; benchdiff compares the common cells).
-func runBenchJSON(path string, names []string, threads []int, scale float64, reps int) error {
+//
+// A non-empty schedOverride runs only the default-schedule configs,
+// each under that schedule, with the schedule recorded per cell — the
+// way to produce a steal-mode file to diff against a default baseline
+// (benchdiff -ignore-sched).
+func runBenchJSON(path string, names []string, threads []int, scale float64, reps int, schedOverride string) error {
 	if len(threads) == 0 {
 		threads = []int{1, 2, 4}
 	}
@@ -50,6 +59,13 @@ func runBenchJSON(path string, names []string, threads []int, scale float64, rep
 		}
 		db := ds.Build(scale * ds.ExperimentScale)
 		for _, c := range benchConfigs {
+			schedName := c.sched
+			if schedOverride != "" {
+				if c.sched != "" {
+					continue // override replaces the variant cells
+				}
+				schedName = schedOverride
+			}
 			for _, th := range threads {
 				for rep := 1; rep <= reps; rep++ {
 					b := export.NewReportBuilder()
@@ -58,6 +74,12 @@ func runBenchJSON(path string, names []string, threads []int, scale float64, rep
 						Representation: c.rep,
 						Workers:        th,
 						Observer:       b,
+					}
+					if schedName != "" {
+						if opt.SchedulePolicy, err = fim.ParseSchedulePolicy(schedName); err != nil {
+							return fmt.Errorf("fimbench: %w", err)
+						}
+						opt.SetSchedule = true
 					}
 					start := time.Now()
 					res, err := fim.Mine(db, ds.DefaultSupport, opt)
@@ -71,14 +93,19 @@ func runBenchJSON(path string, names []string, threads []int, scale float64, rep
 						Dataset:        name,
 						Algorithm:      c.algo.String(),
 						Representation: c.rep.String(),
+						Schedule:       schedName,
 						Threads:        th,
 						Rep:            rep,
 						WallSeconds:    wall.Seconds(),
 						PeakBytes:      report.PeakLiveBytes,
 						Itemsets:       int64(res.Len()),
 					})
-					fmt.Fprintf(os.Stderr, "bench %s %s/%s x%d rep%d: %.3fs peak=%d itemsets=%d\n",
-						name, c.algo, c.rep, th, rep, wall.Seconds(), report.PeakLiveBytes, res.Len())
+					sm := ""
+					if schedName != "" {
+						sm = "@" + schedName
+					}
+					fmt.Fprintf(os.Stderr, "bench %s %s/%s%s x%d rep%d: %.3fs peak=%d itemsets=%d\n",
+						name, c.algo, c.rep, sm, th, rep, wall.Seconds(), report.PeakLiveBytes, res.Len())
 				}
 			}
 		}

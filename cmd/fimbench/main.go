@@ -41,6 +41,7 @@ func main() {
 	jsonPath := flag.String("json", "", "run the standardized real-hardware bench suite and write fim-bench/v1 JSON to this file (e.g. results/BENCH_bench.json)")
 	benchReps := flag.Int("reps", 1, "repetitions per -json bench cell")
 	benchDatasetsFlag := flag.String("datasets", strings.Join(benchDatasets, ","), "comma-separated datasets for the -json suite")
+	benchSched := flag.String("sched", "", "force every -json cell onto this loop schedule (static, dynamic, guided, steal); variant cells are dropped")
 	flag.Parse()
 
 	cfg := experiments.Config{Scale: *scale}
@@ -62,7 +63,7 @@ func main() {
 				names = append(names, n)
 			}
 		}
-		if err := runBenchJSON(*jsonPath, names, cfg.Threads, *scale, *benchReps); err != nil {
+		if err := runBenchJSON(*jsonPath, names, cfg.Threads, *scale, *benchReps, *benchSched); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

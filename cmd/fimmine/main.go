@@ -32,6 +32,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -49,7 +51,7 @@ func main() {
 	workers := flag.Int("workers", 1, "parallel workers")
 	freqOrder := flag.Bool("freq-order", false, "recode items in ascending support order")
 	depth := flag.Int("depth", 0, "Eclat flattening depth (0 = default)")
-	schedName := flag.String("sched", "", "override the loop schedule: static, dynamic, guided (default: the algorithm's choice)")
+	schedName := flag.String("sched", "", "override the loop schedule: static, dynamic, guided, steal (default: the algorithm's choice)")
 	schedChunk := flag.Int("sched-chunk", 0, "chunk size for -sched (0 = the policy's default)")
 	lazy := flag.Bool("lazy", false, "Apriori: count supports before materializing payloads")
 	rules := flag.Float64("rules", 0, "also emit association rules at this confidence (0 = off)")
@@ -65,6 +67,8 @@ func main() {
 	reportPath := flag.String("report", "", "write the machine-readable run report (fim-run-report/v1) to this file")
 	tracePath := flag.String("trace", "", "write the run's span timeline as Chrome trace-event JSON to this file (open in ui.perfetto.dev)")
 	metricsAddr := flag.String("metrics-addr", "", "serve the live report, expvar and pprof over HTTP on this address (e.g. :8080; :0 picks a port)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	flag.Parse()
 
 	db, err := loadDB(*file, *dsName, *scale)
@@ -136,8 +140,28 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Profiles bracket only the mining call, so dataset synthesis and
+	// output formatting stay out of the picture.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+	}
 	start := time.Now()
 	res, err := fim.MineContext(ctx, db, *support, opt)
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		if perr := writeMemProfile(*memProfile); perr != nil {
+			fatal(perr)
+		}
+	}
 	if res == nil {
 		fatal(err)
 	}
@@ -199,6 +223,22 @@ func main() {
 	if res.Incomplete {
 		os.Exit(1)
 	}
+}
+
+// writeMemProfile records the post-run allocation profile (allocs,
+// which includes live heap plus everything freed — the combine arena's
+// figure of merit) at path.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // settle the heap so the live portion is accurate
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeTraceFile renders the recorded span timeline as Chrome

@@ -139,15 +139,18 @@ const (
 // entries are skipped; zero or one live observer keeps the cheap path.
 func MultiObserver(os ...Observer) Observer { return obs.Multi(os...) }
 
-// Loop schedule policies.
+// Loop schedule policies. Steal is the work-stealing extension: flat
+// loops run like Dynamic with chunk 1, and Eclat's recursion spawns
+// stealable subtree tasks so fat classes no longer pin a worker.
 const (
 	Static  = sched.Static
 	Dynamic = sched.Dynamic
 	Guided  = sched.Guided
+	Steal   = sched.Steal
 )
 
 // ParseSchedulePolicy maps a schedule name ("static", "dynamic",
-// "guided") to its policy, for flag parsing.
+// "guided", "steal") to its policy, for flag parsing.
 func ParseSchedulePolicy(s string) (SchedulePolicy, error) { return sched.ParsePolicy(s) }
 
 // Options configures Mine. The zero value mines with Apriori over

@@ -10,8 +10,9 @@
 package assoc
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/itemset"
@@ -61,11 +62,11 @@ func GenerateParallel(res *core.Result, minConf float64, workers int) []Rule {
 	for _, p := range private {
 		rules = append(rules, p...)
 	}
-	sort.Slice(rules, func(i, j int) bool {
-		if c := rules[i].Antecedent.Compare(rules[j].Antecedent); c != 0 {
-			return c < 0
+	slices.SortFunc(rules, func(a, b Rule) int {
+		if c := a.Antecedent.Compare(b.Antecedent); c != 0 {
+			return c
 		}
-		return rules[i].Consequent.Compare(rules[j].Consequent) < 0
+		return a.Consequent.Compare(b.Consequent)
 	})
 	return rules
 }
@@ -142,11 +143,11 @@ func Decode(res *core.Result, r Rule) Rule {
 func TopByLift(rules []Rule, n int) []Rule {
 	out := make([]Rule, len(rules))
 	copy(out, rules)
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Lift != out[j].Lift {
-			return out[i].Lift > out[j].Lift
+	slices.SortStableFunc(out, func(a, b Rule) int {
+		if a.Lift != b.Lift {
+			return cmp.Compare(b.Lift, a.Lift)
 		}
-		return out[i].Confidence > out[j].Confidence
+		return cmp.Compare(b.Confidence, a.Confidence)
 	})
 	if n > len(out) {
 		n = len(out)

@@ -7,7 +7,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/dataset"
 	"repro/internal/itemset"
@@ -129,6 +129,7 @@ func EmitPhases(o obs.Observer, m *sched.Metrics) {
 		for w, ws := range ps.Workers {
 			e.Load = append(e.Load, obs.WorkerLoad{
 				Worker: w, BusyNS: int64(ws.Busy), Tasks: ws.Tasks, Chunks: ws.Chunks,
+				Spawned: ws.Spawned, Stolen: ws.Stolen,
 			})
 		}
 		o.Event(e)
@@ -181,7 +182,7 @@ func (r *Result) Len() int { return len(r.Counts) }
 func (r *Result) Sorted() []ItemsetCount {
 	out := make([]ItemsetCount, len(r.Counts))
 	copy(out, r.Counts)
-	sort.Slice(out, func(i, j int) bool { return out[i].Items.Compare(out[j].Items) < 0 })
+	slices.SortFunc(out, func(a, b ItemsetCount) int { return a.Items.Compare(b.Items) })
 	return out
 }
 
@@ -193,7 +194,7 @@ func (r *Result) Decoded() []ItemsetCount {
 	for i, c := range r.Counts {
 		out[i] = ItemsetCount{Items: r.Rec.Decode(c.Items), Support: c.Support}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Items.Compare(out[j].Items) < 0 })
+	slices.SortFunc(out, func(a, b ItemsetCount) int { return a.Items.Compare(b.Items) })
 	return out
 }
 

@@ -10,10 +10,11 @@ package dataset
 
 import (
 	"bufio"
+	"cmp"
 	"fmt"
 	"io"
 	"math"
-	"sort"
+	"slices"
 	"strconv"
 
 	"repro/internal/itemset"
@@ -168,14 +169,14 @@ func (d *DB) RecodeOrdered(minSup int, order ItemOrder) *Recoded {
 	}
 	switch order {
 	case ByFrequency:
-		sort.Slice(keep, func(i, j int) bool {
-			if counts[keep[i]] != counts[keep[j]] {
-				return counts[keep[i]] < counts[keep[j]]
+		slices.SortFunc(keep, func(a, b itemset.Item) int {
+			if c := cmp.Compare(counts[a], counts[b]); c != 0 {
+				return c
 			}
-			return keep[i] < keep[j]
+			return cmp.Compare(a, b)
 		})
 	default:
-		sort.Slice(keep, func(i, j int) bool { return keep[i] < keep[j] })
+		slices.Sort(keep)
 	}
 	code := make(map[itemset.Item]itemset.Item, len(keep))
 	items := make([]FrequentItem, len(keep))
@@ -193,7 +194,7 @@ func (d *DB) RecodeOrdered(minSup int, order ItemOrder) *Recoded {
 		}
 		if order != ByCode {
 			// Frequency order permutes the codes; restore sortedness.
-			sort.Slice(nt, func(i, j int) bool { return nt[i] < nt[j] })
+			slices.Sort(nt)
 		}
 		out.Transactions[tid] = nt
 	}

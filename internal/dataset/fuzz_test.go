@@ -16,17 +16,17 @@ func FuzzReadFIMI(f *testing.F) {
 	f.Add("1 x\n")
 	f.Add("-1\n")
 	f.Add("\t\r\n 3\r\n")
-	f.Add("4294967295\n")            // max uint32 item
-	f.Add("4294967296\n")            // one past: out of range
-	f.Add("99999999999999999999\n")  // far out of range
-	f.Add("-0\n")                    // negative zero token
-	f.Add("1 -2 3\n")                // negative mid-transaction
-	f.Add("2.5\n")                   // non-integer token
-	f.Add("+3\n")                    // explicit plus sign
-	f.Add("0x10\n")                  // hex prefix
-	f.Add("1\x002\n")                // NUL inside a token
-	f.Add("7 \t 8\r")                // trailing CR without LF
-	f.Add(" \t \r \n")               // whitespace-only lines
+	f.Add("4294967295\n")           // max uint32 item
+	f.Add("4294967296\n")           // one past: out of range
+	f.Add("99999999999999999999\n") // far out of range
+	f.Add("-0\n")                   // negative zero token
+	f.Add("1 -2 3\n")               // negative mid-transaction
+	f.Add("2.5\n")                  // non-integer token
+	f.Add("+3\n")                   // explicit plus sign
+	f.Add("0x10\n")                 // hex prefix
+	f.Add("1\x002\n")               // NUL inside a token
+	f.Add("7 \t 8\r")               // trailing CR without LF
+	f.Add(" \t \r \n")              // whitespace-only lines
 	f.Fuzz(func(t *testing.T, input string) {
 		db, err := ReadFIMI("fuzz", strings.NewReader(input))
 		if err != nil {

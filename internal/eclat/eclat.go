@@ -25,6 +25,20 @@
 // intermediate payload itself, so after the initial reads of shared data
 // there is no cross-worker memory traffic — the data-independence
 // property the paper credits for Eclat's scalability.
+//
+// Two optimizations beyond the paper close the remaining gaps:
+//
+//   - Work stealing (schedule "steal", sched.Steal): the recursion
+//     spawns a stealable task for any subclass whose estimated work
+//     clears stealSpawnWork, so an idle worker can take the far half of
+//     a fat subtree instead of watching one worker grind it. Root
+//     hand-out stays dynamic, results are identical, and stolen
+//     subtrees appear marked in the span trace.
+//   - Zero-allocation combine: every recursion-scoped payload comes
+//     from a per-worker vertical.Arena and returns to it when its
+//     subtree is mined, so the depth-first hot loop stops paying the Go
+//     allocator per candidate (hit/miss rates are visible as the
+//     arena_hits/arena_misses kernel counters).
 package eclat
 
 import (
@@ -147,6 +161,10 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 		workers = 1
 	}
 	private := make([][]core.ItemsetCount, workers)
+	arenas := make([]*vertical.Arena, workers)
+	for i := range arenas {
+		arenas[i] = vertical.NewArena()
+	}
 
 	depth := opt.EclatDepth
 	if depth == 0 {
@@ -154,11 +172,17 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 	}
 	var err error
 	if depth == 1 {
-		err = mineDepth1(rep, roots, rootBytes, minSup, team, schedule, col, rc, o, met, private)
+		err = mineDepth1(rep, roots, rootBytes, minSup, team, schedule, col, rc, o, met, private, arenas)
 	} else {
 		m := &flattenedMiner{rep: rep, minSup: minSup, depth: depth, team: team,
-			schedule: schedule, col: col, rc: rc, o: o, met: met, res: res, private: private}
+			schedule: schedule, col: col, rc: rc, o: o, met: met, res: res,
+			private: private, arenas: arenas}
 		err = m.run(roots, rootBytes)
+	}
+	// Tallies from the flattening stages (whose tasks do not run through
+	// finishMiner) land in kcount here.
+	for _, a := range arenas {
+		a.Flush()
 	}
 
 	for _, p := range private {
@@ -177,7 +201,7 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 func mineDepth1(rep vertical.Representation, roots []vertical.Node, rootBytes int64,
 	minSup int, team *sched.Team, schedule sched.Schedule, col *perf.Collector,
 	rc *runctl.Control, o obs.Observer, met *sched.Metrics,
-	private [][]core.ItemsetCount) error {
+	private [][]core.ItemsetCount, arenas []*vertical.Arena) error {
 
 	n := len(roots)
 	start := time.Now()
@@ -187,9 +211,10 @@ func mineDepth1(rep vertical.Representation, roots []vertical.Node, rootBytes in
 	if phase != nil {
 		phase.UniqueParent = rootBytes
 	}
-	var emitted atomic.Int64
-	err := team.ForCtx(rc, n, schedule, func(w, i int) {
-		m := &minerState{rep: rep, minSup: minSup, phase: phase, task: i, rc: rc}
+	cc := &classCtx{rep: rep, minSup: minSup, phase: phase, rc: rc,
+		arenas: arenas, private: private}
+	mineClass := func(w, i int, sp sched.SpawnFunc) {
+		m := cc.newMiner(w, i, sp)
 		// The first-level combines read globally shared root data; the
 		// recursion below reads only worker-local payloads.
 		prefix := itemset.New(itemset.Item(i))
@@ -198,24 +223,31 @@ func mineDepth1(rep vertical.Representation, roots []vertical.Node, rootBytes in
 			if m.rc.Stopped() {
 				break
 			}
-			child := rep.Combine(roots[i], roots[j])
+			child := m.combine(roots[i], roots[j])
 			cost := int64(vertical.CombineCost(roots[i], roots[j]))
 			m.add(cost+int64(child.Bytes()), cost, int64(child.Bytes()))
 			if child.Support() >= minSup {
 				m.emit(prefix.Extend(itemset.Item(j)), child.Support())
 				m.rc.ChargeMem(int64(child.Bytes()))
 				class = append(class, atom{item: itemset.Item(j), node: child})
+			} else {
+				m.arena.Release(child)
 			}
 		}
 		m.recurse(prefix, class)
 		m.releaseAtoms(class)
-		emitted.Add(int64(len(m.out)))
-		private[w] = append(private[w], m.out...)
-	})
+		cc.finishMiner(w, m)
+	}
+	var err error
+	if schedule.Policy == sched.Steal {
+		err = team.ForTreeCtx(rc, n, mineClass)
+	} else {
+		err = team.ForCtx(rc, n, schedule, func(w, i int) { mineClass(w, i, nil) })
+	}
 	core.EmitPhases(o, met)
 	if err == nil {
 		obs.Emit(o, obs.Event{Type: obs.LevelEnd, Phase: "eclat/classes",
-			Candidates: n, Frequent: int(emitted.Load()),
+			Candidates: n, Frequent: int(cc.emitted.Load()),
 			LiveBytes: rc.MemUsed(), ElapsedNS: int64(time.Since(start))})
 	}
 	return err
@@ -278,6 +310,7 @@ type flattenedMiner struct {
 	met      *sched.Metrics
 	res      *core.Result
 	private  [][]core.ItemsetCount
+	arenas   []*vertical.Arena
 }
 
 // degradeClasses rewrites every atom of the freshly built classes as a
@@ -347,7 +380,7 @@ func (f *flattenedMiner) run(roots []vertical.Node, rootBytes int64) error {
 	pairNodes := make([]vertical.Node, nPairs)
 	err := f.team.ForCtx(f.rc, nPairs, f.schedule, func(w, t int) {
 		i, j := pi[t], pj[t]
-		child := rep.Combine(roots[i], roots[j])
+		child := vertical.CombineWith(rep, f.arenas[w], roots[i], roots[j])
 		cost := int64(vertical.CombineCost(roots[i], roots[j]))
 		phaseA.Add(t, cost+int64(child.Bytes()), cost, int64(child.Bytes()))
 		if child.Support() >= f.minSup {
@@ -357,6 +390,8 @@ func (f *flattenedMiner) run(roots []vertical.Node, rootBytes int64) error {
 				Items:   itemset.New(itemset.Item(i), itemset.Item(j)),
 				Support: child.Support(),
 			})
+		} else {
+			f.arenas[w].Release(child)
 		}
 	})
 	core.EmitPhases(f.o, f.met)
@@ -416,22 +451,27 @@ func (f *flattenedMiner) run(roots []vertical.Node, rootBytes int64) error {
 		phase.UniqueParent = maxClassBytes(classes)
 	}
 	rep = f.rep
-	var emitted atomic.Int64
-	err = f.team.ForCtx(f.rc, len(tasks), f.schedule, func(w, t int) {
+	cc := &classCtx{rep: rep, minSup: f.minSup, phase: phase, rc: f.rc,
+		arenas: f.arenas, private: f.private}
+	mineSubtree := func(w, t int, sp sched.SpawnFunc) {
 		e := tasks[t]
 		class := classes[e.class]
-		m := &minerState{rep: rep, minSup: f.minSup, phase: phase, task: t, rc: f.rc}
+		m := cc.newMiner(w, t, sp)
 		sub := m.expandOne(class, int(e.pos))
 		m.recurse(class.prefix.Extend(class.atoms[e.pos].item), sub)
 		m.releaseAtoms(sub)
-		emitted.Add(int64(len(m.out)))
-		f.private[w] = append(f.private[w], m.out...)
-	})
+		cc.finishMiner(w, m)
+	}
+	if f.schedule.Policy == sched.Steal {
+		err = f.team.ForTreeCtx(f.rc, len(tasks), mineSubtree)
+	} else {
+		err = f.team.ForCtx(f.rc, len(tasks), f.schedule, func(w, t int) { mineSubtree(w, t, nil) })
+	}
 	core.EmitPhases(f.o, f.met)
 	f.rc.ChargeMem(-levelBytes(classes))
 	if err == nil {
 		obs.Emit(f.o, obs.Event{Type: obs.LevelEnd, Level: f.depth, Phase: "eclat/subtrees",
-			Candidates: len(tasks), Frequent: int(emitted.Load()),
+			Candidates: len(tasks), Frequent: int(cc.emitted.Load()),
 			LiveBytes: f.rc.MemUsed(), ElapsedNS: int64(time.Since(startS))})
 	}
 	return err
@@ -469,7 +509,11 @@ func (f *flattenedMiner) expandLevel(classes []eqClass, memberSize int) ([]eqCla
 	err := f.team.ForCtx(f.rc, len(tasks), f.schedule, func(w, t int) {
 		e := tasks[t]
 		class := classes[e.class]
-		m := &minerState{rep: rep, minSup: f.minSup, phase: phase, task: t, rc: f.rc}
+		// Frequent children become the next flattened level and stay
+		// live past this stage, so they are never released back; only
+		// the infrequent majority recycles through the arena.
+		m := &minerState{rep: rep, minSup: f.minSup, phase: phase, task: t,
+			rc: f.rc, arena: f.arenas[w]}
 		sub := m.expandOne(class, int(e.pos))
 		if len(sub) > 0 {
 			next[t] = eqClass{prefix: class.prefix.Extend(class.atoms[e.pos].item), atoms: sub}
@@ -517,7 +561,7 @@ func (m *minerState) expandOne(class eqClass, pos int) []atom {
 			break
 		}
 		b := class.atoms[k]
-		child := m.rep.Combine(a.node, b.node)
+		child := m.combine(a.node, b.node)
 		cost := int64(vertical.CombineCost(a.node, b.node))
 		remote := int64(b.node.Bytes())
 		if k == pos+1 {
@@ -528,10 +572,53 @@ func (m *minerState) expandOne(class eqClass, pos int) []atom {
 			m.emit(newPrefix.Extend(b.item), child.Support())
 			m.rc.ChargeMem(int64(child.Bytes()))
 			sub = append(sub, atom{item: b.item, node: child})
+		} else {
+			m.arena.Release(child)
 		}
 	}
 	return sub
 }
+
+// classCtx carries the per-stage state shared by every recursion task
+// of one parallel mining stage — including tasks spawned onto the
+// stealing deques mid-stage, which may run (and must be re-equipped
+// with an arena and output slot) on whichever worker takes them.
+type classCtx struct {
+	rep     vertical.Representation
+	minSup  int
+	phase   *perf.Phase
+	rc      *runctl.Control
+	arenas  []*vertical.Arena
+	private [][]core.ItemsetCount
+	emitted atomic.Int64
+}
+
+// newMiner equips a task running on worker w with that worker's arena
+// and, in steal mode, the spawn hook. task is the perf-phase slot the
+// task's modelled work is charged to — a spawned subtree keeps its
+// originating task's slot (Phase.Add is atomic, so concurrent charges
+// to one slot are safe).
+func (cc *classCtx) newMiner(w, task int, sp sched.SpawnFunc) *minerState {
+	return &minerState{rep: cc.rep, minSup: cc.minSup, phase: cc.phase,
+		task: task, rc: cc.rc, arena: cc.arenas[w], spawn: sp, cc: cc}
+}
+
+// finishMiner publishes a completed task's results into the stage
+// totals and worker w's private output, and flushes the arena tallies.
+func (cc *classCtx) finishMiner(w int, m *minerState) {
+	m.arena.Flush()
+	cc.emitted.Add(int64(len(m.out)))
+	cc.private[w] = append(cc.private[w], m.out...)
+}
+
+// stealSpawnWork is the estimated-work threshold — subclass size times
+// payload bytes — above which recurse offloads a subclass to the
+// stealing deques instead of descending inline. Around 64 KiB·members,
+// tiny subtrees stay inline (a deque round-trip costs more than mining
+// them) while the fat near-root subclasses that pin a worker under
+// dynamic scheduling become stealable. A variable so the tests can
+// force aggressive spawning on small databases.
+var stealSpawnWork int64 = 1 << 16
 
 // minerState carries one task's recursion context: its output buffer,
 // run control, and instrumentation coordinates.
@@ -541,7 +628,16 @@ type minerState struct {
 	phase  *perf.Phase
 	task   int
 	rc     *runctl.Control
+	arena  *vertical.Arena
+	spawn  sched.SpawnFunc
+	cc     *classCtx
 	out    []core.ItemsetCount
+}
+
+// combine is the miners' single combine entry point: arena-backed when
+// the representation supports recycling, allocating otherwise.
+func (m *minerState) combine(px, py vertical.Node) vertical.Node {
+	return vertical.CombineWith(m.rep, m.arena, px, py)
 }
 
 func (m *minerState) add(work, remote, alloc int64) {
@@ -562,17 +658,25 @@ func (m *minerState) emit(items itemset.Itemset, support int) {
 	m.rc.AddItemsets(1)
 }
 
-// releaseAtoms returns a class's payload bytes to the memory budget
-// when its recursion scope ends.
-func (m *minerState) releaseAtoms(class []atom) {
-	if m.rc == nil {
-		return
-	}
+// atomsBytes sums a class's payload footprint.
+func atomsBytes(class []atom) int64 {
 	var b int64
 	for _, a := range class {
 		b += int64(a.node.Bytes())
 	}
-	m.rc.ChargeMem(-b)
+	return b
+}
+
+// releaseAtoms returns a class's payload bytes to the memory budget and
+// its nodes to the task's arena when the recursion scope ends. The
+// nodes are dead here by construction: the subtree below the class is
+// fully mined, and spawned subtrees only ever reference their own
+// class's nodes (combine results never alias their parents).
+func (m *minerState) releaseAtoms(class []atom) {
+	m.rc.ChargeMem(-atomsBytes(class))
+	for _, a := range class {
+		m.arena.Release(a.node)
+	}
 }
 
 // recurse explores the class rooted at prefix (Algorithm 2 lines 3–11):
@@ -580,6 +684,10 @@ func (m *minerState) releaseAtoms(class []atom) {
 // the frequent joins and descend into the new class. The stop flag is
 // checked at every class descent, so a cancelled or over-budget run
 // unwinds without finishing the subtree.
+//
+// In steal mode (m.spawn non-nil), a subclass whose estimated work
+// clears stealSpawnWork is handed to the deques instead of descended
+// inline; ownership of its payloads transfers with it.
 func (m *minerState) recurse(prefix itemset.Itemset, class []atom) {
 	for i := 0; i+1 < len(class); i++ {
 		if m.rc.Stopped() {
@@ -588,18 +696,40 @@ func (m *minerState) recurse(prefix itemset.Itemset, class []atom) {
 		newPrefix := prefix.Extend(class[i].item)
 		var sub []atom
 		for j := i + 1; j < len(class); j++ {
-			child := m.rep.Combine(class[i].node, class[j].node)
+			child := m.combine(class[i].node, class[j].node)
 			cost := int64(vertical.CombineCost(class[i].node, class[j].node))
 			m.addLocal(cost+int64(child.Bytes()), int64(child.Bytes()))
 			if child.Support() >= m.minSup {
 				m.emit(newPrefix.Extend(class[j].item), child.Support())
 				m.rc.ChargeMem(int64(child.Bytes()))
 				sub = append(sub, atom{item: class[j].item, node: child})
+			} else {
+				m.arena.Release(child)
 			}
+		}
+		if m.spawn != nil && len(sub) > 1 &&
+			int64(len(sub))*atomsBytes(sub) >= stealSpawnWork {
+			m.spawnSubtree(newPrefix, sub)
+			continue
 		}
 		if len(sub) > 0 {
 			m.recurse(newPrefix, sub)
 		}
 		m.releaseAtoms(sub)
 	}
+}
+
+// spawnSubtree enqueues the class rooted at prefix as a stealable task.
+// The task rebuilds a miner on whichever worker runs it — possibly a
+// thief on the far side of the machine — which mines the subtree with
+// its own arena, releases the class, and publishes its results. The
+// subtree's modelled work stays charged to the originating perf task.
+func (m *minerState) spawnSubtree(prefix itemset.Itemset, sub []atom) {
+	cc, task := m.cc, m.task
+	m.spawn(func(w int, sp sched.SpawnFunc) {
+		sm := cc.newMiner(w, task, sp)
+		sm.recurse(prefix, sub)
+		sm.releaseAtoms(sub)
+		cc.finishMiner(w, sm)
+	})
 }

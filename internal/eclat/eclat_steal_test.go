@@ -1,0 +1,136 @@
+// Steal-mode Eclat: result parity with the chunked schedules, subtree
+// spawn accounting, and the metrics invariant tasks = roots + spawned.
+
+package eclat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+	"repro/internal/sched"
+	"repro/internal/verify"
+	"repro/internal/vertical"
+)
+
+func stealOptions(kind vertical.Kind, workers int) core.Options {
+	opt := core.DefaultOptions(kind, workers)
+	opt.Schedule, opt.HasSchedule = sched.Schedule{Policy: sched.Steal}, true
+	return opt
+}
+
+func TestStealMatchesSerial(t *testing.T) {
+	rec := classicRecoded(t, 2)
+	serial := mine(rec, 2, core.DefaultOptions(vertical.Diffset, 1))
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, depth := range []int{1, 2, 4} {
+			for _, kind := range vertical.Kinds() {
+				opt := stealOptions(kind, workers)
+				opt.EclatDepth = depth
+				res := mine(rec, 2, opt)
+				if !res.Equal(serial) {
+					t.Errorf("steal workers=%d depth=%d %v disagrees with serial:\n%s",
+						workers, depth, kind, verify.Diff(res, serial))
+				}
+			}
+		}
+	}
+}
+
+// deepDB is a database with a deep frequent lattice: nine items always
+// together, so every first-level class roots a fat subtree.
+func deepRecoded(t *testing.T, minSup int) *dataset.Recoded {
+	t.Helper()
+	var sb strings.Builder
+	for i := 0; i < minSup; i++ {
+		sb.WriteString("1 2 3 4 5 6 7 8 9\n")
+	}
+	db, err := dataset.ReadFIMI("deep", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db.Recode(minSup)
+}
+
+// TestStealSpawnsAndAgrees forces the spawn threshold to fire on every
+// eligible subclass and checks that (a) the mined itemsets still match
+// the serial run exactly and (b) the recorded loop satisfies
+// TotalTasks == N + TotalSpawned with at least one spawn.
+func TestStealSpawnsAndAgrees(t *testing.T) {
+	old := stealSpawnWork
+	stealSpawnWork = 1
+	defer func() { stealSpawnWork = old }()
+
+	rec := deepRecoded(t, 5)
+	serial := mine(rec, 5, core.DefaultOptions(vertical.Tidset, 1))
+	if serial.Len() != 511 { // 2^9 - 1
+		t.Fatalf("deep lattice: %d itemsets, want 511", serial.Len())
+	}
+	for _, depth := range []int{1, 4} {
+		met := sched.NewMetrics()
+		opt := stealOptions(vertical.Tidset, 4)
+		opt.EclatDepth = depth
+		opt.Metrics = met
+		res := mine(rec, 5, opt)
+		if !res.Equal(serial) {
+			t.Errorf("depth=%d: steal run disagrees with serial:\n%s",
+				depth, verify.Diff(res, serial))
+		}
+		// The recursion stage is the last recorded loop at either depth.
+		last := met.Last()
+		if last == nil {
+			t.Fatalf("depth=%d: no loop recorded", depth)
+		}
+		if last.Schedule.Policy != sched.Steal {
+			t.Fatalf("depth=%d: last loop schedule = %v", depth, last.Schedule)
+		}
+		if last.TotalSpawned() == 0 {
+			t.Errorf("depth=%d: no subtrees spawned on a deep lattice with threshold 1", depth)
+		}
+		if got, want := last.TotalTasks(), int64(last.N)+last.TotalSpawned(); got != want {
+			t.Errorf("depth=%d: TotalTasks = %d, want N + TotalSpawned = %d", depth, got, want)
+		}
+	}
+}
+
+// Property: steal mode agrees with the reference on random databases
+// for all representations and depths, with spawning forced on.
+func TestStealQuickAgainstReference(t *testing.T) {
+	old := stealSpawnWork
+	stealSpawnWork = 1
+	defer func() { stealSpawnWork = old }()
+
+	cfg := &quick.Config{MaxCount: 20}
+	law := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := &dataset.DB{Name: "rand"}
+		nTrans := 5 + r.Intn(40)
+		nItems := 3 + r.Intn(7)
+		for i := 0; i < nTrans; i++ {
+			var items []itemset.Item
+			for it := 0; it < nItems; it++ {
+				if r.Intn(3) > 0 {
+					items = append(items, itemset.Item(it))
+				}
+			}
+			if len(items) == 0 {
+				items = append(items, 0)
+			}
+			db.Transactions = append(db.Transactions, itemset.New(items...))
+		}
+		minSup := 1 + r.Intn(nTrans/2+1)
+		rec := db.Recode(minSup)
+		ref := verify.Reference(rec, minSup)
+		opt := stealOptions(vertical.Kinds()[r.Intn(3)], 1+r.Intn(4))
+		opt.EclatDepth = 1 + r.Intn(4)
+		res := mine(rec, minSup, opt)
+		return res.Equal(ref)
+	}
+	if err := quick.Check(law, cfg); err != nil {
+		t.Errorf("steal eclat vs reference: %v", err)
+	}
+}

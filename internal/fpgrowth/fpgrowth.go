@@ -15,7 +15,8 @@
 package fpgrowth
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 	"sync/atomic"
 	"time"
 
@@ -142,8 +143,8 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 	for i := range order {
 		order[i] = int32(i)
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return rec.Items[order[a]].Support > rec.Items[order[b]].Support
+	slices.SortStableFunc(order, func(a, b int32) int {
+		return cmp.Compare(rec.Items[b].Support, rec.Items[a].Support)
 	})
 	rank := make([]int32, n) // item -> rank
 	for r, it := range order {
@@ -164,7 +165,7 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 		for _, it := range tr {
 			buf = append(buf, int32(it))
 		}
-		sort.Slice(buf, func(a, b int) bool { return rank[buf[a]] < rank[buf[b]] })
+		slices.SortFunc(buf, func(a, b int32) int { return cmp.Compare(rank[a], rank[b]) })
 		t.insert(buf, 1)
 	}
 	rc.ChargeMem(t.bytes())
@@ -253,7 +254,7 @@ func (g *grower) grow(t *tree, suffix itemset.Itemset) {
 	for it := range t.counts {
 		items = append(items, it)
 	}
-	sort.Slice(items, func(a, b int) bool { return g.rank[items[a]] > g.rank[items[b]] })
+	slices.SortFunc(items, func(a, b int32) int { return cmp.Compare(g.rank[b], g.rank[a]) })
 	for _, it := range items {
 		if g.rc.Stopped() {
 			return

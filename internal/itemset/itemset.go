@@ -14,6 +14,7 @@ package itemset
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -34,7 +35,7 @@ func New(items ...Item) Itemset {
 	}
 	s := make(Itemset, len(items))
 	copy(s, items)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 	// Deduplicate in place.
 	w := 1
 	for r := 1; r < len(s); r++ {
@@ -303,5 +304,5 @@ func (s Itemset) String() string {
 // Useful for making mining output deterministic regardless of the
 // parallel schedule that produced it.
 func Sort(sets []Itemset) {
-	sort.Slice(sets, func(i, j int) bool { return sets[i].Compare(sets[j]) < 0 })
+	slices.SortFunc(sets, Itemset.Compare)
 }

@@ -61,6 +61,11 @@ type Stats struct {
 	// HybridFlips counts hybrid nodes that chose the diffset form over
 	// the tidset form at construction (the dEclat switch-over firing).
 	HybridFlips int64
+	// ArenaHits and ArenaMisses count scratch-arena node requests that
+	// were served from a worker's free list vs. fell through to the Go
+	// allocator — the zero-allocation combine path's figure of merit.
+	ArenaHits   int64
+	ArenaMisses int64
 }
 
 // Sub returns s − prev, field-wise.
@@ -73,6 +78,8 @@ func (s Stats) Sub(prev Stats) Stats {
 		WordsANDed:      s.WordsANDed - prev.WordsANDed,
 		WordsPopcounted: s.WordsPopcounted - prev.WordsPopcounted,
 		HybridFlips:     s.HybridFlips - prev.HybridFlips,
+		ArenaHits:       s.ArenaHits - prev.ArenaHits,
+		ArenaMisses:     s.ArenaMisses - prev.ArenaMisses,
 	}
 	for k := 0; k < numKinds; k++ {
 		d.NodesBuilt[k] = s.NodesBuilt[k] - prev.NodesBuilt[k]
@@ -98,6 +105,8 @@ func (s Stats) Map() map[string]int64 {
 	put("words_anded", s.WordsANDed)
 	put("words_popcounted", s.WordsPopcounted)
 	put("hybrid_flips", s.HybridFlips)
+	put("arena_hits", s.ArenaHits)
+	put("arena_misses", s.ArenaMisses)
 	for k := 0; k < numKinds; k++ {
 		put("nodes_built_"+kindNames[k], s.NodesBuilt[k])
 		put("bytes_materialized_"+kindNames[k], s.BytesMaterialized[k])
@@ -115,6 +124,8 @@ type counters struct {
 	wordsANDed      atomic.Int64
 	wordsPopcounted atomic.Int64
 	hybridFlips     atomic.Int64
+	arenaHits       atomic.Int64
+	arenaMisses     atomic.Int64
 	nodesBuilt      [numKinds]atomic.Int64
 	bytesMat        [numKinds]atomic.Int64
 }
@@ -155,6 +166,8 @@ func Snapshot() Stats {
 	s.WordsANDed = global.wordsANDed.Load()
 	s.WordsPopcounted = global.wordsPopcounted.Load()
 	s.HybridFlips = global.hybridFlips.Load()
+	s.ArenaHits = global.arenaHits.Load()
+	s.ArenaMisses = global.arenaMisses.Load()
 	for k := 0; k < numKinds; k++ {
 		s.NodesBuilt[k] = global.nodesBuilt[k].Load()
 		s.BytesMaterialized[k] = global.bytesMat[k].Load()
@@ -212,5 +225,15 @@ func AddNode(kind, bytes int) {
 func AddHybridFlip() {
 	if Enabled() {
 		global.hybridFlips.Add(1)
+	}
+}
+
+// AddArena accounts a batch of scratch-arena requests: hits served
+// from a free list, misses that allocated. Arenas flush their local
+// tallies in batches (per released scope), not per request.
+func AddArena(hits, misses int64) {
+	if Enabled() && (hits != 0 || misses != 0) {
+		global.arenaHits.Add(hits)
+		global.arenaMisses.Add(misses)
 	}
 }

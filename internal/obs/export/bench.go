@@ -19,15 +19,19 @@ const BenchSchema = "fim-bench/v1"
 // Bench is one benchmark measurement: a single (dataset, algorithm,
 // representation, threads) run.
 type Bench struct {
-	Schema         string  `json:"schema"`
-	Dataset        string  `json:"dataset"`
-	Algorithm      string  `json:"algorithm"`
-	Representation string  `json:"representation,omitempty"`
-	Threads        int     `json:"threads"`
-	Rep            int     `json:"rep"`
-	WallSeconds    float64 `json:"wall_seconds"`
-	PeakBytes      int64   `json:"peak_bytes"`
-	Itemsets       int64   `json:"itemsets"`
+	Schema         string `json:"schema"`
+	Dataset        string `json:"dataset"`
+	Algorithm      string `json:"algorithm"`
+	Representation string `json:"representation,omitempty"`
+	// Schedule names a non-default loop schedule (e.g. "steal"); empty
+	// means the algorithm's own default. Files written before the field
+	// existed decode with it empty, so the v1 schema is unchanged.
+	Schedule    string  `json:"schedule,omitempty"`
+	Threads     int     `json:"threads"`
+	Rep         int     `json:"rep"`
+	WallSeconds float64 `json:"wall_seconds"`
+	PeakBytes   int64   `json:"peak_bytes"`
+	Itemsets    int64   `json:"itemsets"`
 }
 
 // Provenance records where a benchmark file came from, so a regression

@@ -6,7 +6,8 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
+	"slices"
+	"strings"
 )
 
 // Bench-regression observatory: compare fim-bench/v1 files cell by
@@ -20,6 +21,7 @@ type BenchKey struct {
 	Dataset        string `json:"dataset"`
 	Algorithm      string `json:"algorithm"`
 	Representation string `json:"representation,omitempty"`
+	Schedule       string `json:"schedule,omitempty"`
 	Threads        int    `json:"threads"`
 }
 
@@ -28,7 +30,11 @@ func (k BenchKey) String() string {
 	if rep == "" {
 		rep = "-"
 	}
-	return fmt.Sprintf("%s/%s/%s/t%d", k.Dataset, k.Algorithm, rep, k.Threads)
+	s := fmt.Sprintf("%s/%s/%s/t%d", k.Dataset, k.Algorithm, rep, k.Threads)
+	if k.Schedule != "" {
+		s += "@" + k.Schedule
+	}
+	return s
 }
 
 // BenchCell is one cell's aggregate over its repetitions: best (min)
@@ -47,7 +53,8 @@ type BenchCell struct {
 func BenchCells(f *BenchFile) (map[BenchKey]BenchCell, error) {
 	cells := map[BenchKey]BenchCell{}
 	for _, b := range f.Results {
-		k := BenchKey{b.Dataset, b.Algorithm, b.Representation, b.Threads}
+		k := BenchKey{Dataset: b.Dataset, Algorithm: b.Algorithm,
+			Representation: b.Representation, Schedule: b.Schedule, Threads: b.Threads}
 		c, ok := cells[k]
 		if !ok {
 			cells[k] = BenchCell{Wall: b.WallSeconds, Peak: b.PeakBytes, Itemsets: b.Itemsets, Reps: 1}
@@ -90,7 +97,18 @@ type BenchDiff struct {
 }
 
 func sortKeys(ks []BenchKey) {
-	sort.Slice(ks, func(i, j int) bool { return ks[i].String() < ks[j].String() })
+	slices.SortFunc(ks, func(a, b BenchKey) int { return strings.Compare(a.String(), b.String()) })
+}
+
+// StripSchedule clears the schedule of every result, collapsing each
+// schedule variant onto its base cell. It lets a file measured under a
+// non-default schedule diff against a default-schedule baseline — the
+// steal-vs-dynamic comparison. Only meaningful when the file holds one
+// schedule per base cell; otherwise variants merge into one cell.
+func StripSchedule(f *BenchFile) {
+	for i := range f.Results {
+		f.Results[i].Schedule = ""
+	}
 }
 
 // DiffBench compares old against new cell by cell. Cells present in
@@ -132,7 +150,7 @@ func DiffBench(oldF, newF *BenchFile) (*BenchDiff, error) {
 			d.OnlyNew = append(d.OnlyNew, k)
 		}
 	}
-	sort.Slice(d.Cells, func(i, j int) bool { return d.Cells[i].Key.String() < d.Cells[j].Key.String() })
+	slices.SortFunc(d.Cells, func(a, b BenchDelta) int { return strings.Compare(a.Key.String(), b.Key.String()) })
 	sortKeys(d.OnlyOld)
 	sortKeys(d.OnlyNew)
 	if len(d.Cells) == 0 {

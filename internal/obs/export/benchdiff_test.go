@@ -96,13 +96,55 @@ func TestBenchCellsAggregates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := cells[BenchKey{"chess", "eclat", "diffset", 2}]
+	c := cells[BenchKey{Dataset: "chess", Algorithm: "eclat", Representation: "diffset", Threads: 2}]
 	if c.Wall != 0.8 || c.Peak != 300 || c.Reps != 2 || c.Itemsets != 10 {
 		t.Errorf("aggregated cell = %+v", c)
 	}
 	f.Results[1].Itemsets = 11
 	if _, err := BenchCells(f); err == nil {
 		t.Error("itemset disagreement between reps not rejected")
+	}
+}
+
+// TestScheduleCellsDistinct: a schedule variant is its own cell (keyed
+// with an @sched suffix), and StripSchedule collapses it onto the base
+// cell so a steal-mode file diffs against a default-schedule baseline.
+func TestScheduleCellsDistinct(t *testing.T) {
+	f := &BenchFile{Schema: BenchSchema, Results: []Bench{
+		{Schema: BenchSchema, Dataset: "chess", Algorithm: "eclat", Representation: "diffset",
+			Threads: 2, Rep: 1, WallSeconds: 1.0, PeakBytes: 100, Itemsets: 10},
+		{Schema: BenchSchema, Dataset: "chess", Algorithm: "eclat", Representation: "diffset",
+			Schedule: "steal", Threads: 2, Rep: 1, WallSeconds: 0.7, PeakBytes: 100, Itemsets: 10},
+	}}
+	cells, err := BenchCells(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("cells = %+v, want the steal variant kept distinct", cells)
+	}
+	k := BenchKey{Dataset: "chess", Algorithm: "eclat", Representation: "diffset",
+		Schedule: "steal", Threads: 2}
+	if k.String() != "chess/eclat/diffset/t2@steal" {
+		t.Errorf("key string = %q", k.String())
+	}
+	if c, ok := cells[k]; !ok || c.Wall != 0.7 {
+		t.Errorf("steal cell = %+v ok=%v", c, ok)
+	}
+
+	// Stripping the schedule merges the variant into the base cell: the
+	// steal results now aggregate as extra reps of the default cell.
+	StripSchedule(f)
+	cells, err = BenchCells(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := BenchKey{Dataset: "chess", Algorithm: "eclat", Representation: "diffset", Threads: 2}
+	if len(cells) != 1 {
+		t.Fatalf("post-strip cells = %+v, want one merged cell", cells)
+	}
+	if c := cells[base]; c.Wall != 0.7 || c.Reps != 2 {
+		t.Errorf("merged cell = %+v, want min wall 0.7 over 2 reps", c)
 	}
 }
 

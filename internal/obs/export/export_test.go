@@ -146,6 +146,7 @@ func TestValidateReportRejects(t *testing.T) {
 		{"negative-level", func(r *Report) { r.Levels[0].Frequent = -1 }},
 		{"imbalance", func(r *Report) { r.Phases[0].Imbalance = 0.5 }},
 		{"task-sum", func(r *Report) { r.Phases[0].Workers[0].Tasks++ }},
+		{"negative-spawned", func(r *Report) { r.Phases[0].Workers[0].Spawned = -1 }},
 		{"stop-coherence", func(r *Report) { r.Stop = &StopInfo{Reason: "canceled"} }},
 		{"incomplete-coherence", func(r *Report) { r.Incomplete = true }},
 	}
@@ -155,6 +156,21 @@ func TestValidateReportRejects(t *testing.T) {
 		if err := ValidateReport(r); err == nil {
 			t.Errorf("%s: violation not caught", c.name)
 		}
+	}
+
+	// A work-stealing phase executes n roots plus every spawned subtask;
+	// tasks == n + spawned must validate, one off must not.
+	r := good()
+	r.Phases[0].Workers[0].Spawned = 7
+	r.Phases[0].Workers[1].Tasks += 4
+	r.Phases[0].Workers[1].Stolen = 4
+	r.Phases[0].Workers[0].Tasks += 3
+	if err := ValidateReport(r); err != nil {
+		t.Errorf("steal-mode task sum rejected: %v", err)
+	}
+	r.Phases[0].Workers[0].Spawned--
+	if err := ValidateReport(r); err == nil {
+		t.Error("spawned/tasks mismatch not caught")
 	}
 }
 

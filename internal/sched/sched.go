@@ -35,6 +35,13 @@ const (
 	// ceil(remaining/workers) iterations, bounded below by the chunk
 	// size (default 1).
 	Guided
+	// Steal selects work-stealing execution: tree-shaped loops
+	// (Team.ForTreeCtx) run on per-worker deques whose tasks may spawn
+	// stealable subtasks, so one oversized subtree no longer pins its
+	// worker. Flat loops run under it exactly like Dynamic with chunk 1
+	// — OpenMP has no such schedule, which is why the paper stops at
+	// dynamic,1; see DESIGN.md for the fidelity argument.
+	Steal
 )
 
 func (p Policy) String() string {
@@ -45,6 +52,8 @@ func (p Policy) String() string {
 		return "dynamic"
 	case Guided:
 		return "guided"
+	case Steal:
+		return "steal"
 	}
 	return fmt.Sprintf("Policy(%d)", int(p))
 }
@@ -58,6 +67,8 @@ func ParsePolicy(s string) (Policy, error) {
 		return Dynamic, nil
 	case "guided":
 		return Guided, nil
+	case "steal":
+		return Steal, nil
 	}
 	return 0, fmt.Errorf("sched: unknown policy %q", s)
 }
@@ -96,7 +107,10 @@ func NewChunker(n, p int, s Schedule) Chunker {
 	switch s.Policy {
 	case Static:
 		return newStaticChunker(n, p, s.Chunk)
-	case Dynamic:
+	case Dynamic, Steal:
+		// Flat loops have no subtree structure to steal; under Steal
+		// they use the dynamic chunker (chunk 1 unless overridden),
+		// matching the paper's dynamic,1 baseline.
 		c := s.Chunk
 		if c < 1 {
 			c = 1

@@ -320,7 +320,10 @@ func TestPolicyStrings(t *testing.T) {
 	if Policy(9).String() != "Policy(9)" {
 		t.Error("unknown policy name")
 	}
-	for _, name := range []string{"static", "dynamic", "guided"} {
+	if Steal.String() != "steal" {
+		t.Error("steal policy name")
+	}
+	for _, name := range []string{"static", "dynamic", "guided", "steal"} {
 		p, err := ParsePolicy(name)
 		if err != nil || p.String() != name {
 			t.Errorf("ParsePolicy(%q) = %v, %v", name, p, err)

@@ -1,0 +1,244 @@
+// Work-stealing execution for tree-shaped loops. The paper's Eclat
+// parallelizes only the outer class loop (dynamic, chunk 1), so one fat
+// subtree pins its worker while the rest idle — the straggler tail the
+// trace observatory makes visible. ForTreeCtx keeps the paper's
+// dynamic hand-out for the root tasks but lets a task spawn stealable
+// subtasks onto its worker's deque: the owner pops newest-first (depth
+// first, cache hot), idle workers steal oldest-first (closest to the
+// root, the largest pending subtree). OpenMP 3 tasks would express the
+// same thing; the paper predates their wide adoption and stops at
+// schedule(dynamic,1) — DESIGN.md maps what changes and what stays
+// faithful.
+//
+// The deques are mutex-based, not Chase-Lev: tasks are whole subtrees
+// (thousands of set intersections each), so hand-out cost is noise and
+// the simple implementation is the correct trade. Steal and spawn
+// counts fold into the loop's Metrics (WorkerStats.Spawned/Stolen) and
+// stolen tasks carry a marked span name so they show up distinctly in
+// an exported Perfetto timeline.
+
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/runctl"
+)
+
+// SpawnFunc enqueues a stealable subtask onto the calling worker's
+// deque. It must only be called from inside the task body it was
+// handed to (the scheduler binds it to the executing worker). The
+// subtask receives the id of whichever worker eventually runs it and a
+// SpawnFunc bound to that worker, so spawning nests arbitrarily.
+type SpawnFunc func(task func(worker int, spawn SpawnFunc))
+
+// treeTask is one deque entry: a spawned subtask and its span id.
+type treeTask struct {
+	run func(worker int, spawn SpawnFunc)
+	id  int
+}
+
+// stealDeque is one worker's task store. The owner pushes and pops at
+// the tail (LIFO, depth-first); thieves take from the head (FIFO, the
+// oldest and therefore largest pending subtree). A mutex per deque is
+// ample: operations are per subtree task, never per iteration.
+type stealDeque struct {
+	mu    sync.Mutex
+	tasks []treeTask
+}
+
+func (d *stealDeque) push(t treeTask) {
+	d.mu.Lock()
+	d.tasks = append(d.tasks, t)
+	d.mu.Unlock()
+}
+
+// pop takes the newest task (owner side).
+func (d *stealDeque) pop() (treeTask, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return treeTask{}, false
+	}
+	t := d.tasks[len(d.tasks)-1]
+	d.tasks[len(d.tasks)-1] = treeTask{} // release the closure
+	d.tasks = d.tasks[:len(d.tasks)-1]
+	return t, true
+}
+
+// stealFrom takes the oldest task (thief side).
+func (d *stealDeque) stealFrom() (treeTask, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return treeTask{}, false
+	}
+	t := d.tasks[0]
+	d.tasks[0] = treeTask{}
+	d.tasks = d.tasks[1:]
+	return t, true
+}
+
+// treeState is the shared state of one ForTreeCtx loop.
+type treeState struct {
+	ls       *loopState
+	body     func(worker, root int, spawn SpawnFunc)
+	deques   []stealDeque
+	n        int
+	nextRoot atomic.Int64
+	// pending counts unfinished tasks: unclaimed roots plus spawned
+	// tasks not yet completed. Zero means the tree is fully mined and
+	// idle workers may exit.
+	pending atomic.Int64
+	// nextID allocates span ids for spawned tasks, starting past the
+	// root range so every task's span id is unique within the loop.
+	nextID atomic.Int64
+}
+
+// Idle backoff: a worker that finds no local work, no root, and
+// nothing to steal yields a few times, then sleeps briefly so spinning
+// at a phase's tail does not burn a core.
+const (
+	stealSpinYields = 64
+	stealIdleSleep  = 20 * time.Microsecond
+)
+
+func (ts *treeState) spawnFunc(w int) SpawnFunc {
+	return func(task func(int, SpawnFunc)) {
+		ts.pending.Add(1)
+		if ts.ls.rec != nil {
+			ts.ls.rec.addSpawn(w)
+		}
+		id := int(ts.nextID.Add(1)) - 1
+		ts.deques[w].push(treeTask{run: task, id: id})
+	}
+}
+
+// runTask executes one task on worker w with accounting: fault hook at
+// the task boundary (the steal-mode analogue of a chunk boundary),
+// busy time and steal provenance into the loop record, completion into
+// the pending count.
+func (ts *treeState) runTask(w, id int, stolen bool, spawn SpawnFunc, run func(int, SpawnFunc)) {
+	injectFault(w, id, id+1, ts.ls.rc)
+	if ts.ls.rec == nil {
+		run(w, spawn)
+	} else {
+		t0 := time.Now()
+		run(w, spawn)
+		ts.ls.rec.addTask(w, id, stolen, t0, time.Since(t0))
+	}
+	ts.pending.Add(-1)
+}
+
+// runWorker is one worker's scheduling loop: own deque first
+// (depth-first), then an unclaimed root (the paper's dynamic hand-out),
+// then a steal sweep, then idle backoff until the tree drains. A panic
+// in a task is contained exactly like a chunked loop's: the run stops
+// and sibling workers exit at their next stopped check.
+func (ts *treeState) runWorker(w int) {
+	defer ts.ls.recover(w)
+	spawn := ts.spawnFunc(w)
+	idle := 0
+	for {
+		if ts.ls.stopped() {
+			return
+		}
+		if t, ok := ts.deques[w].pop(); ok {
+			ts.runTask(w, t.id, false, spawn, t.run)
+			idle = 0
+			continue
+		}
+		if i := int(ts.nextRoot.Add(1)) - 1; i < ts.n {
+			root := i
+			ts.runTask(w, root, false, spawn, func(w int, sp SpawnFunc) {
+				ts.body(w, root, sp)
+			})
+			idle = 0
+			continue
+		}
+		if t, ok := ts.stealAny(w); ok {
+			ts.runTask(w, t.id, true, spawn, t.run)
+			idle = 0
+			continue
+		}
+		if ts.pending.Load() == 0 {
+			return
+		}
+		if idle++; idle <= stealSpinYields {
+			runtime.Gosched()
+		} else {
+			time.Sleep(stealIdleSleep)
+		}
+	}
+}
+
+// stealAny sweeps the other workers' deques once, starting just past
+// the thief so repeated steals spread across victims.
+func (ts *treeState) stealAny(w int) (treeTask, bool) {
+	p := len(ts.deques)
+	for k := 1; k < p; k++ {
+		if t, ok := ts.deques[(w+k)%p].stealFrom(); ok {
+			return t, true
+		}
+	}
+	return treeTask{}, false
+}
+
+// ForTreeCtx executes body(worker, root, spawn) for every root in
+// [0, n) on a work-stealing team. Roots are handed out dynamically
+// like ForCtx under schedule(dynamic,1); in addition, a body may call
+// spawn(task) to enqueue a stealable subtask on its worker's deque —
+// the owner runs its own subtasks depth-first, and an idle worker
+// steals the oldest subtask of a busy one, so an unbalanced tree no
+// longer serializes on the worker that claimed its root.
+//
+// Cancellation, budgets, and panic containment follow ForCtx: rc is
+// checked before each task (bodies are expected to poll rc themselves
+// inside long recursions, as the miners do), and a body panic stops
+// the loop and is returned as a *runctl.WorkerPanicError. With
+// metrics attached, every task is accounted to the worker that ran it
+// (WorkerStats.Tasks includes spawned tasks, so on a completed loop
+// TotalTasks == n + TotalSpawned) and stolen tasks are counted per
+// thief and marked in the span trace.
+func (t *Team) ForTreeCtx(rc *runctl.Control, n int, body func(worker, root int, spawn SpawnFunc)) error {
+	ls := &loopState{rc: rc}
+	if err := rc.Err(); err != nil {
+		return err
+	}
+	if n == 0 {
+		return nil
+	}
+	// The team size is not clamped to n: spawned subtasks can employ
+	// more workers than there are roots — that is the point.
+	p := t.workers
+	ls.rec = t.metrics.begin(n, p, Schedule{Policy: Steal})
+	defer ls.rec.finish(t.metrics)
+	ts := &treeState{ls: ls, body: body, deques: make([]stealDeque, p), n: n}
+	ts.pending.Store(int64(n))
+	ts.nextID.Store(int64(n))
+	if p == 1 {
+		ts.runWorker(0)
+		return ls.err()
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			ts.runWorker(w)
+		}(w)
+	}
+	wg.Wait()
+	return ls.err()
+}
+
+// ForTree is ForTreeCtx without run control: panics are contained,
+// drained, and re-raised on the caller's goroutine like For's.
+func (t *Team) ForTree(n int, body func(worker, root int, spawn SpawnFunc)) {
+	if err := t.ForTreeCtx(nil, n, body); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,371 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/runctl"
+)
+
+// spawnTree recursively spawns a binary tree of depth levels below the
+// current task, counting every execution and every spawn. The owner
+// runs its own subtasks depth-first; idle workers steal — either way
+// each spawned task must run exactly once.
+func spawnTree(depth int, sp SpawnFunc, executed, spawned *atomic.Int64) {
+	executed.Add(1)
+	if depth == 0 {
+		return
+	}
+	for k := 0; k < 2; k++ {
+		spawned.Add(1)
+		sp(func(_ int, sp SpawnFunc) {
+			spawnTree(depth-1, sp, executed, spawned)
+		})
+	}
+}
+
+// TestForTreeUnevenHammer is the -race deque hammer: skewed synthetic
+// trees (root i spawns a binary tree of depth i%5, so a few roots carry
+// almost all the work) across team sizes, asserting full coverage and
+// the Metrics invariant TotalTasks == n + TotalSpawned with
+// TotalStolen bounded by TotalSpawned.
+func TestForTreeUnevenHammer(t *testing.T) {
+	const n = 24
+	for _, workers := range []int{1, 2, 4, 8} {
+		team := NewTeam(workers)
+		met := NewMetrics()
+		team.SetMetrics(met)
+		var executed, spawned atomic.Int64
+		var rootRuns [n]atomic.Int32
+		err := team.ForTreeCtx(nil, n, func(_, root int, sp SpawnFunc) {
+			rootRuns[root].Add(1)
+			spawnTree(root%5, sp, &executed, &spawned)
+		})
+		if err != nil {
+			t.Fatalf("x%d: err = %v", workers, err)
+		}
+		for i := range rootRuns {
+			if c := rootRuns[i].Load(); c != 1 {
+				t.Fatalf("x%d: root %d ran %d times", workers, i, c)
+			}
+		}
+		ps := met.Last()
+		if ps == nil || ps.Schedule.Policy != Steal {
+			t.Fatalf("x%d: last phase = %+v, want a steal-schedule record", workers, ps)
+		}
+		// Every body call (roots included) counts one task; spawnTree
+		// counts executions of spawned tasks plus the n root calls.
+		wantTasks := int64(n) + spawned.Load()
+		if got := ps.TotalTasks(); got != wantTasks {
+			t.Errorf("x%d: TotalTasks = %d, want n + spawned = %d", workers, got, wantTasks)
+		}
+		if got := ps.TotalSpawned(); got != spawned.Load() {
+			t.Errorf("x%d: TotalSpawned = %d, want %d", workers, got, spawned.Load())
+		}
+		if ps.TotalTasks() != int64(ps.N)+ps.TotalSpawned() {
+			t.Errorf("x%d: metrics invariant broken: tasks=%d n=%d spawned=%d",
+				workers, ps.TotalTasks(), ps.N, ps.TotalSpawned())
+		}
+		if st := ps.TotalStolen(); st > ps.TotalSpawned() {
+			t.Errorf("x%d: TotalStolen = %d exceeds TotalSpawned = %d", workers, st, ps.TotalSpawned())
+		}
+		if workers == 1 && ps.TotalStolen() != 0 {
+			t.Errorf("serial team stole %d tasks", ps.TotalStolen())
+		}
+	}
+}
+
+// TestForTreeConcurrentLoops runs many ForTree loops on one team at
+// once (meaningful under -race): the team holds no per-loop state, so
+// loops must not interfere.
+func TestForTreeConcurrentLoops(t *testing.T) {
+	team := NewTeam(4)
+	const loops, n = 8, 64
+	var wg sync.WaitGroup
+	errs := make(chan string, loops)
+	for l := 0; l < loops; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			var hits [n]atomic.Int32
+			team.ForTree(n, func(_, root int, sp SpawnFunc) {
+				if root%3 == 0 {
+					sp(func(int, SpawnFunc) {}) // exercise the deques too
+				}
+				hits[root].Add(1)
+			})
+			for i := range hits {
+				if c := hits[i].Load(); c != 1 {
+					errs <- fmt.Sprintf("loop %d: root %d ran %d times", l, i, c)
+					return
+				}
+			}
+		}(l)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestForTreeStealIsObserved forces a deterministic steal: the single
+// root spawns one subtask and then blocks until it has started. The
+// owner is stuck inside the root body, so only a thief can run the
+// subtask. The steal must show up in WorkerStats.Stolen and as a
+// StolenSpanSuffix-marked span.
+func TestForTreeStealIsObserved(t *testing.T) {
+	team := NewTeam(4)
+	met := NewMetrics()
+	team.SetMetrics(met)
+	tr := &recordingTracer{}
+	met.SetTracer(tr)
+	met.Label("steal-proof")
+	started := make(chan struct{})
+	err := team.ForTreeCtx(nil, 1, func(_, _ int, sp SpawnFunc) {
+		sp(func(int, SpawnFunc) { close(started) })
+		select {
+		case <-started:
+		case <-time.After(10 * time.Second):
+			panic("spawned task was never stolen")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := met.Last()
+	if ps.TotalSpawned() != 1 || ps.TotalStolen() != 1 {
+		t.Fatalf("spawned=%d stolen=%d, want 1 and 1", ps.TotalSpawned(), ps.TotalStolen())
+	}
+	var marked int
+	for _, s := range tr.spans() {
+		if strings.HasSuffix(s.name, StolenSpanSuffix) {
+			marked++
+			if !strings.HasPrefix(s.name, "steal-proof") {
+				t.Errorf("stolen span name = %q, want the loop label prefix", s.name)
+			}
+		}
+	}
+	if marked != 1 {
+		t.Errorf("%d stolen-marked spans, want 1 (spans: %+v)", marked, tr.spans())
+	}
+}
+
+// recordingTracer captures chunk spans for assertions.
+type recordingTracer struct {
+	mu  sync.Mutex
+	got []tracedSpan
+}
+
+type tracedSpan struct {
+	name   string
+	worker int
+	lo, hi int
+}
+
+func (r *recordingTracer) ChunkSpan(phase string, worker, lo, hi int, tasks int64, start time.Time, dur time.Duration) {
+	r.mu.Lock()
+	r.got = append(r.got, tracedSpan{name: phase, worker: worker, lo: lo, hi: hi})
+	r.mu.Unlock()
+}
+
+func (r *recordingTracer) spans() []tracedSpan {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]tracedSpan(nil), r.got...)
+}
+
+// TestForTreeSpanIDsUnique: root tasks use their root index as span id
+// and spawned tasks draw fresh ids past the root range, so no two
+// tasks of one loop share an id.
+func TestForTreeSpanIDsUnique(t *testing.T) {
+	team := NewTeam(3)
+	met := NewMetrics()
+	team.SetMetrics(met)
+	tr := &recordingTracer{}
+	met.SetTracer(tr)
+	const n = 10
+	team.ForTree(n, func(_, root int, sp SpawnFunc) {
+		if root%2 == 0 {
+			sp(func(int, SpawnFunc) {})
+		}
+	})
+	seen := map[int]bool{}
+	for _, s := range tr.spans() {
+		if s.hi != s.lo+1 {
+			t.Errorf("tree span [%d,%d) is not a single task", s.lo, s.hi)
+		}
+		if seen[s.lo] {
+			t.Errorf("span id %d recorded twice", s.lo)
+		}
+		seen[s.lo] = true
+	}
+	if len(seen) != n+n/2 {
+		t.Errorf("recorded %d spans, want %d", len(seen), n+n/2)
+	}
+}
+
+// TestForTreeCancel: a stop raised mid-loop drains the workers without
+// running the remaining roots, and the stop cause comes back.
+func TestForTreeCancel(t *testing.T) {
+	team := NewTeam(2)
+	rc := runctl.New(context.Background(), runctl.Budget{})
+	defer rc.Close()
+	var ran atomic.Int64
+	err := team.ForTreeCtx(rc, 10000, func(_, _ int, sp SpawnFunc) {
+		if ran.Add(1) == 5 {
+			rc.Stop(context.Canceled)
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The stop fired at 5; each worker may have had one task in flight.
+	if total := ran.Load(); total > 5+int64(team.Workers()) {
+		t.Errorf("%d tasks ran after stop at 5", total)
+	}
+}
+
+// TestForTreeCancelledBeforeLoop: a pre-cancelled control runs nothing.
+func TestForTreeCancelledBeforeLoop(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rc := runctl.New(ctx, runctl.Budget{})
+	defer rc.Close()
+	for !rc.Stopped() {
+		time.Sleep(time.Millisecond)
+	}
+	var ran atomic.Int64
+	err := NewTeam(4).ForTreeCtx(rc, 100, func(_, _ int, sp SpawnFunc) { ran.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("pre-cancelled tree loop ran %d tasks", ran.Load())
+	}
+}
+
+// TestForTreePanicContained: a panic in a root body or in a spawned
+// task is contained and returned as *runctl.WorkerPanicError, and the
+// run control stops so sibling loops drain.
+func TestForTreePanicContained(t *testing.T) {
+	for _, inSpawned := range []bool{false, true} {
+		for _, workers := range []int{1, 4} {
+			team := NewTeam(workers)
+			rc := runctl.New(context.Background(), runctl.Budget{})
+			err := team.ForTreeCtx(rc, 50, func(_, root int, sp SpawnFunc) {
+				if root != 17 {
+					return
+				}
+				if inSpawned {
+					sp(func(int, SpawnFunc) { panic("tree boom") })
+				} else {
+					panic("tree boom")
+				}
+			})
+			rc.Close()
+			var perr *runctl.WorkerPanicError
+			if !errors.As(err, &perr) {
+				t.Fatalf("spawned=%v x%d: err = %v, want *runctl.WorkerPanicError", inSpawned, workers, err)
+			}
+			if perr.Value != "tree boom" {
+				t.Errorf("spawned=%v x%d: panic value = %v", inSpawned, workers, perr.Value)
+			}
+			if !rc.Stopped() {
+				t.Errorf("spawned=%v x%d: control not stopped after panic", inSpawned, workers)
+			}
+		}
+	}
+}
+
+// TestForTreePanicRethrown: the no-control ForTree re-raises the
+// contained panic like For does.
+func TestForTreePanicRethrown(t *testing.T) {
+	defer func() {
+		if _, ok := recover().(*runctl.WorkerPanicError); !ok {
+			t.Fatal("ForTree did not re-raise *runctl.WorkerPanicError")
+		}
+	}()
+	NewTeam(2).ForTree(10, func(_, root int, sp SpawnFunc) {
+		if root == 3 {
+			panic("rethrown")
+		}
+	})
+	t.Fatal("ForTree returned instead of panicking")
+}
+
+// TestForTreeFaultHookFires: the chunk-boundary fault hook fires at
+// tree-task boundaries too, so the miner-level fault-injection suite
+// covers steal mode unchanged.
+func TestForTreeFaultHookFires(t *testing.T) {
+	defer SetFaultHook(nil)
+	SetFaultHook(func(fc FaultContext) {
+		if fc.Seq == 3 {
+			fc.Control.Stop(context.Canceled)
+		}
+	})
+	rc := runctl.New(context.Background(), runctl.Budget{})
+	defer rc.Close()
+	var ran atomic.Int64
+	err := NewTeam(1).ForTreeCtx(rc, 1000, func(_, _ int, sp SpawnFunc) { ran.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() >= 1000 {
+		t.Error("tree loop ran to completion despite injected cancel")
+	}
+}
+
+// TestForTreeZeroAndSerial: n == 0 is a no-op; a one-worker team runs
+// everything inline, spawned tasks included, in depth-first order.
+func TestForTreeZeroAndSerial(t *testing.T) {
+	if err := NewTeam(4).ForTreeCtx(nil, 0, func(int, int, SpawnFunc) {
+		t.Error("body ran for n == 0")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	NewTeam(1).ForTree(3, func(_, root int, sp SpawnFunc) {
+		order = append(order, root)
+		sp(func(int, SpawnFunc) { order = append(order, 100+root) })
+	})
+	// The owner pops its own deque before claiming the next root:
+	// each spawned task runs right after its parent body returns.
+	want := []int{0, 100, 1, 101, 2, 102}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestStealChunkerFallsBackToDynamic: flat loops under the steal
+// policy use the dynamic chunker (chunk 1 unless overridden), matching
+// the paper's dynamic,1 baseline.
+func TestStealChunkerFallsBackToDynamic(t *testing.T) {
+	ch := NewChunker(10, 2, Schedule{Policy: Steal})
+	lo, hi, ok := ch.Next(0)
+	if !ok || hi-lo != 1 {
+		t.Fatalf("steal chunker dealt [%d,%d) ok=%v, want single-iteration chunks", lo, hi, ok)
+	}
+	ch = NewChunker(10, 2, Schedule{Policy: Steal, Chunk: 4})
+	if lo, hi, ok = ch.Next(0); !ok || hi-lo != 4 {
+		t.Fatalf("steal chunker with chunk 4 dealt [%d,%d) ok=%v", lo, hi, ok)
+	}
+	var hits [100]atomic.Int32
+	NewTeam(4).For(100, Schedule{Policy: Steal}, func(_, i int) { hits[i].Add(1) })
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("flat steal loop: iteration %d ran %d times", i, hits[i].Load())
+		}
+	}
+}

@@ -13,6 +13,7 @@
 package tidset
 
 import (
+	"slices"
 	"sort"
 
 	"repro/internal/kcount"
@@ -32,7 +33,7 @@ func New(tids ...TID) Set {
 	}
 	s := make(Set, len(tids))
 	copy(s, tids)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 	w := 1
 	for r := 1; r < len(s); r++ {
 		if s[r] != s[w-1] {

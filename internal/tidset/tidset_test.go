@@ -221,12 +221,38 @@ func benchSets(density float64, n int) (Set, Set) {
 	return a, b
 }
 
-func BenchmarkIntersectDense(b *testing.B) {
+// The Intersect / IntersectInto / gallop trio: same dense inputs for
+// the first two, so the only difference is where the result lives —
+// the allocating form pays one allocation per combine, the Into form
+// reuses the caller's buffer (allocs/op 0 at steady state). The
+// skewed-gallop benchmark covers the binary-search path the Into form
+// takes when the operand sizes diverge.
+
+func BenchmarkIntersectAlloc(b *testing.B) {
+	x, y := benchSets(0.5, 1<<16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Intersect(y)
+	}
+}
+
+func BenchmarkIntersectInto(b *testing.B) {
 	x, y := benchSets(0.5, 1<<16)
 	buf := make(Set, 0, 1<<16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buf = x.IntersectInto(y, buf)
+	}
+}
+
+func BenchmarkDiffAlloc(b *testing.B) {
+	x, y := benchSets(0.5, 1<<16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Diff(y)
 	}
 }
 

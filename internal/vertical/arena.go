@@ -1,0 +1,175 @@
+// Scratch arenas and allocation-free combine. Eclat's depth-first hot
+// loop creates and discards one payload node per candidate; with the
+// plain Combine every one of them is a fresh allocation, and at high
+// thread counts the allocator (and the garbage it leaves behind)
+// becomes the bottleneck — the effect Zymbler's many-core Apriori
+// study pins on non-vectorized, allocation-heavy kernels. An Arena is
+// a per-worker free list of nodes: CombineInto takes the child's node
+// and backing storage from the arena when it can (a hit) and falls
+// through to the allocator when it cannot (a miss), and Release
+// returns a node whose subtree is fully mined. Hits and misses are
+// tallied locally and flushed to kcount in batches.
+//
+// Ownership discipline: a node released to an arena must have no live
+// children in flight — the miners release a class's atoms only after
+// the recursion over that class returns. CombineInto never aliases its
+// parents' storage (the Into kernels write a disjoint destination
+// buffer), which arena_test.go checks as a property.
+
+package vertical
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/kcount"
+)
+
+// arenaMaxFree caps each per-type free list so a briefly-deep
+// recursion cannot pin an unbounded node pool for the rest of the run.
+const arenaMaxFree = 1 << 14
+
+// Arena is a single-worker recycling store of payload nodes. It is NOT
+// safe for concurrent use: each worker owns one. Nodes released into
+// an arena may have been allocated by another worker's arena (a stolen
+// subtree releases its class wherever it ran); buffers simply migrate.
+type Arena struct {
+	tidsets  []*TidsetNode
+	diffsets []*DiffsetNode
+	bitvecs  []*BitvectorNode
+	hits     int64
+	misses   int64
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// Release returns a node to the arena for reuse. The caller must hold
+// the only live reference to the node's payload (its subtree is fully
+// mined). Unknown node kinds and nil are ignored. Nil-safe.
+func (a *Arena) Release(n Node) {
+	if a == nil || n == nil {
+		return
+	}
+	switch c := n.(type) {
+	case *TidsetNode:
+		if len(a.tidsets) < arenaMaxFree {
+			a.tidsets = append(a.tidsets, c)
+		}
+	case *DiffsetNode:
+		if len(a.diffsets) < arenaMaxFree {
+			a.diffsets = append(a.diffsets, c)
+		}
+	case *BitvectorNode:
+		if len(a.bitvecs) < arenaMaxFree {
+			a.bitvecs = append(a.bitvecs, c)
+		}
+	}
+}
+
+// Flush folds the arena's local hit/miss tallies into the process-wide
+// kernel counters. The miners call it at task boundaries so the hot
+// loop never touches an atomic. Nil-safe.
+func (a *Arena) Flush() {
+	if a == nil {
+		return
+	}
+	kcount.AddArena(a.hits, a.misses)
+	a.hits, a.misses = 0, 0
+}
+
+// getTidset pops a recycled tidset node (buffer truncated, capacity
+// kept) or allocates one.
+func (a *Arena) getTidset() *TidsetNode {
+	if n := len(a.tidsets); n > 0 {
+		nd := a.tidsets[n-1]
+		a.tidsets[n-1] = nil
+		a.tidsets = a.tidsets[:n-1]
+		a.hits++
+		return nd
+	}
+	a.misses++
+	return &TidsetNode{}
+}
+
+func (a *Arena) getDiffset() *DiffsetNode {
+	if n := len(a.diffsets); n > 0 {
+		nd := a.diffsets[n-1]
+		a.diffsets[n-1] = nil
+		a.diffsets = a.diffsets[:n-1]
+		a.hits++
+		return nd
+	}
+	a.misses++
+	return &DiffsetNode{}
+}
+
+// getBitvec pops a recycled bitvector node over a universe of n bits.
+// Recycled vectors keep their length for the whole run (one mining run
+// has one transaction universe), so a length mismatch — possible only
+// if one arena serves runs over different databases — is treated as a
+// miss and the mismatched node is dropped.
+func (a *Arena) getBitvec(nbits int) *BitvectorNode {
+	for len(a.bitvecs) > 0 {
+		i := len(a.bitvecs) - 1
+		nd := a.bitvecs[i]
+		a.bitvecs[i] = nil
+		a.bitvecs = a.bitvecs[:i]
+		if nd.Bits.Len() == nbits {
+			a.hits++
+			return nd
+		}
+	}
+	a.misses++
+	return &BitvectorNode{Bits: bitvec.New(nbits)}
+}
+
+// IntoCombiner is implemented by representations whose Combine can
+// recycle arena storage. CombineInto(a, px, py) is semantically
+// identical to Combine(px, py) — same support, same logical set — but
+// the child's node and backing buffer come from a when possible. The
+// result never shares backing memory with px or py.
+type IntoCombiner interface {
+	CombineInto(a *Arena, px, py Node) Node
+}
+
+// CombineWith dispatches to rep's CombineInto when it has one and an
+// arena is supplied, else to the allocating Combine. This is the
+// single combine entry point of the miners' recursion hot loops.
+func CombineWith(rep Representation, a *Arena, px, py Node) Node {
+	if a != nil {
+		if ic, ok := rep.(IntoCombiner); ok {
+			return ic.CombineInto(a, px, py)
+		}
+	}
+	return rep.Combine(px, py)
+}
+
+func (tidsetRep) CombineInto(a *Arena, px, py Node) Node {
+	x, y := px.(*TidsetNode), py.(*TidsetNode)
+	n := a.getTidset()
+	n.TIDs = x.TIDs.IntersectInto(y.TIDs, n.TIDs)
+	kcount.AddNode(kcount.Tidset, n.Bytes())
+	return n
+}
+
+func (diffsetRep) CombineInto(a *Arena, px, py Node) Node {
+	x, y := px.(*DiffsetNode), py.(*DiffsetNode)
+	n := a.getDiffset()
+	n.Diff = y.Diff.DiffInto(x.Diff, n.Diff) // d(PXY) = d(PY) − d(PX)
+	n.sup = x.sup - len(n.Diff)
+	kcount.AddNode(kcount.Diffset, n.Bytes())
+	return n
+}
+
+func (bitvectorRep) CombineInto(a *Arena, px, py Node) Node {
+	x, y := px.(*BitvectorNode), py.(*BitvectorNode)
+	n := a.getBitvec(x.Bits.Len())
+	n.Bits.AndInto(x.Bits, y.Bits)
+	n.sup = n.Bits.Count()
+	kcount.AddNode(kcount.Bitvector, n.Bytes())
+	return n
+}
+
+// hybridRep deliberately has no CombineInto: a hybrid node flips
+// between tidset and diffset form per combine, so recycled storage
+// would have to be re-typed per call; the flip bookkeeping costs more
+// than the allocation it saves. CombineWith falls back to Combine.
