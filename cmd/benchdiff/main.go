@@ -13,10 +13,15 @@
 //	benchdiff results/BENCH_bench.json new.json
 //	benchdiff -tolerance 3 -history results/BENCH_history.jsonl baseline.json new.json
 //	benchdiff -ignore-sched dynamic.json steal.json
+//	benchdiff -ignore-batch batched.json pairwise.json
 //
 // -ignore-sched strips the schedule from every cell before diffing, so
 // a file measured under one schedule (fimbench -json ... -sched steal)
 // compares cell-for-cell against a default-schedule baseline.
+// -ignore-batch does the same for the batch mode, so a pairwise file
+// (fimbench -json ... -batch off) compares cell-for-cell against a
+// batched baseline — the exact-itemset check then proves the two
+// combine paths mine identical sets.
 //
 // With -history, the newest file's cells are appended as one line of the
 // append-only fim-bench-history/v1 JSONL log (written even when the gate
@@ -39,8 +44,9 @@ func main() {
 	historyPath := flag.String("history", "", "append the newest file's cells to this fim-bench-history/v1 JSONL log")
 	label := flag.String("label", "", "label for the history entry (e.g. a git ref)")
 	ignoreSched := flag.Bool("ignore-sched", false, "collapse schedule variants onto their base cells before diffing (e.g. steal file vs default baseline)")
+	ignoreBatch := flag.Bool("ignore-batch", false, "collapse batch-mode variants onto their base cells before diffing (e.g. -batch off file vs batched baseline)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance R] [-history FILE] [-label S] [-ignore-sched] baseline.json new.json...")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance R] [-history FILE] [-label S] [-ignore-sched] [-ignore-batch] baseline.json new.json...")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -67,6 +73,9 @@ func main() {
 		}
 		if *ignoreSched {
 			export.StripSchedule(files[i])
+		}
+		if *ignoreBatch {
+			export.StripBatch(files[i])
 		}
 	}
 

@@ -29,7 +29,12 @@ func mustMine(res *core.Result, err error) *core.Result {
 
 func main() {
 	only := flag.String("only", "", "restrict to one dataset")
+	gallop := flag.Bool("gallop", false, "re-time the tidset merge-vs-gallop crossover on this host and exit")
 	flag.Parse()
+	if *gallop {
+		calibrateGallop()
+		return
+	}
 	cfg := machine.Blacklight()
 	threads := []int{16, 256}
 	for _, d := range datasets.Dense() {

@@ -22,6 +22,8 @@ var benchConfigs = []struct {
 	sched string // "" = the algorithm's default schedule
 }{
 	{fim.Apriori, fim.Diffset, ""},
+	{fim.Apriori, fim.Tidset, ""},
+	{fim.Apriori, fim.Bitvector, ""},
 	{fim.Eclat, fim.Diffset, ""},
 	{fim.FPGrowth, fim.Diffset, ""},
 	{fim.Eclat, fim.Diffset, "steal"},
@@ -41,7 +43,12 @@ var benchDatasets = []string{"chess", "mushroom"}
 // each under that schedule, with the schedule recorded per cell — the
 // way to produce a steal-mode file to diff against a default baseline
 // (benchdiff -ignore-sched).
-func runBenchJSON(path string, names []string, threads []int, scale float64, reps int, schedOverride string) error {
+//
+// batchOff disables the prefix-blocked batched combine kernels and
+// records batch "off" per cell; diffing such a file against a default
+// baseline (benchdiff -ignore-batch) is the batching A/B, with the
+// exact-itemset check proving the two modes mine identical sets.
+func runBenchJSON(path string, names []string, threads []int, scale float64, reps int, schedOverride string, batchOff bool) error {
 	if len(threads) == 0 {
 		threads = []int{1, 2, 4}
 	}
@@ -74,6 +81,7 @@ func runBenchJSON(path string, names []string, threads []int, scale float64, rep
 						Representation: c.rep,
 						Workers:        th,
 						Observer:       b,
+						DisableBatch:   batchOff,
 					}
 					if schedName != "" {
 						if opt.SchedulePolicy, err = fim.ParseSchedulePolicy(schedName); err != nil {
@@ -88,12 +96,17 @@ func runBenchJSON(path string, names []string, threads []int, scale float64, rep
 					}
 					wall := time.Since(start)
 					report := b.Report()
+					batchName := ""
+					if batchOff {
+						batchName = "off"
+					}
 					results = append(results, export.Bench{
 						Schema:         export.BenchSchema,
 						Dataset:        name,
 						Algorithm:      c.algo.String(),
 						Representation: c.rep.String(),
 						Schedule:       schedName,
+						Batch:          batchName,
 						Threads:        th,
 						Rep:            rep,
 						WallSeconds:    wall.Seconds(),

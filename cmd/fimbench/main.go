@@ -42,6 +42,7 @@ func main() {
 	benchReps := flag.Int("reps", 1, "repetitions per -json bench cell")
 	benchDatasetsFlag := flag.String("datasets", strings.Join(benchDatasets, ","), "comma-separated datasets for the -json suite")
 	benchSched := flag.String("sched", "", "force every -json cell onto this loop schedule (static, dynamic, guided, steal); variant cells are dropped")
+	benchBatch := flag.String("batch", "on", "prefix-blocked batched combine kernels for the -json suite: on, off (off records batch \"off\" per cell)")
 	flag.Parse()
 
 	cfg := experiments.Config{Scale: *scale}
@@ -63,7 +64,16 @@ func main() {
 				names = append(names, n)
 			}
 		}
-		if err := runBenchJSON(*jsonPath, names, cfg.Threads, *scale, *benchReps, *benchSched); err != nil {
+		batchOff := false
+		switch *benchBatch {
+		case "on":
+		case "off":
+			batchOff = true
+		default:
+			fmt.Fprintf(os.Stderr, "fimbench: -batch must be on or off, got %q\n", *benchBatch)
+			os.Exit(2)
+		}
+		if err := runBenchJSON(*jsonPath, names, cfg.Threads, *scale, *benchReps, *benchSched, batchOff); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -172,6 +172,11 @@ type Options struct {
 	SetSchedule    bool
 	// DisablePruning turns off Apriori's subset pruning.
 	DisablePruning bool
+	// DisableBatch turns off the prefix-blocked batched combine kernels
+	// and runs the miners' combine loops pairwise — the escape hatch and
+	// A/B lever for the batching optimization. Results are identical
+	// either way.
+	DisableBatch bool
 	// EclatDepth sets Eclat's flattening depth (see internal/eclat);
 	// 0 uses the default.
 	EclatDepth int
@@ -302,6 +307,7 @@ func MineAbsoluteContext(ctx context.Context, db *DB, minSupport int, opt Option
 		Collector:       opt.Trace,
 		Control:         rc,
 		Prune:           !opt.DisablePruning,
+		Batch:           !opt.DisableBatch,
 		EclatDepth:      opt.EclatDepth,
 		LazyMaterialize: opt.LazyMaterialize,
 	}

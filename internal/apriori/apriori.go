@@ -122,6 +122,18 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 		return true
 	}
 
+	// Per-worker arenas for the batched combine path: candidate payloads
+	// recycle generation over generation, so once the free lists warm up
+	// the counting loop stops touching the allocator.
+	arenas := make([]*vertical.Arena, team.Workers())
+	for w := range arenas {
+		arenas[w] = vertical.NewArena()
+	}
+	// Roots are seeded from the recoded database and may share backing
+	// storage with it, so they are never recycled; every later level is
+	// miner-owned and safe to release once retired.
+	parentsReleasable := false
+
 	obs.Emit(o, obs.Event{Type: obs.LevelStart, Level: 1, Phase: "apriori/roots",
 		Candidates: len(nodes)})
 	rc.ChargeMem(MemoryFootprint(nodes))
@@ -155,7 +167,12 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 		generated := cands.Len()
 		pruned := 0
 		if opt.Prune {
-			pruned = tr.Prune(cands)
+			// Subset pruning runs on the team: the k-level hash index is
+			// built once, the per-candidate checks fan out.
+			var err error
+			if pruned, err = tr.PruneParallel(cands, team, schedule, rc); err != nil {
+				return collect(err)
+			}
 		}
 		n := cands.Len()
 		if n == 0 {
@@ -177,27 +194,74 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 
 		counter, lazy := rep.(vertical.SupportOnly)
 		lazy = lazy && opt.LazyMaterialize
+		batch := opt.Batch && !lazy // CombineSupport has no batched form
 
-		// Parallel support counting (Algorithm 1 line 8, parallelized
-		// over the outermost per-candidate loop). Under lazy
-		// materialization only the supports are computed here; payloads
-		// are allocated for the frequent survivors afterwards.
+		// Parallel support counting (Algorithm 1 line 8). The batched
+		// path iterates prefix blocks — each iteration keeps one parent
+		// px resident and combines it against its entire sibling run in
+		// a single kernel call — with the static schedule's contiguous
+		// cuts weighted by estimated combine cost so block granularity
+		// keeps the paper's balance properties. The pairwise path is the
+		// paper's literal per-candidate loop; lazy materialization only
+		// computes supports here and allocates the frequent survivors
+		// afterwards.
 		childNodes := make([]vertical.Node, n)
-		err := team.ForCtx(rc, n, schedule, func(_, i int) {
-			px := nodes[cands.Px[i]]
-			py := nodes[cands.Py[i]]
-			cost := int64(vertical.CombineCost(px, py))
-			if lazy {
-				cands.Level.Supports[i] = counter.CombineSupport(px, py)
-				phase.Add(i, cost, cost, 0)
-				return
+		var err error
+		if batch {
+			nBlocks := len(cands.Blocks) - 1
+			weights := make([]int64, nBlocks)
+			for b := 0; b < nBlocks; b++ {
+				lo, hi := cands.Blocks[b], cands.Blocks[b+1]
+				w := int64(hi-lo) * int64(nodes[cands.Px[lo]].Bytes())
+				for i := lo; i < hi; i++ {
+					w += int64(nodes[cands.Py[i]].Bytes())
+				}
+				weights[b] = w
 			}
-			child := rep.Combine(px, py)
-			childNodes[i] = child
-			cands.Level.Supports[i] = child.Support()
-			rc.ChargeMem(int64(child.Bytes()))
-			phase.Add(i, cost+int64(child.Bytes()), cost, int64(child.Bytes()))
-		})
+			err = team.ForWeightedCtx(rc, nBlocks, weights, schedule, func(worker, b int) {
+				lo, hi := int(cands.Blocks[b]), int(cands.Blocks[b+1])
+				m := hi - lo
+				px := nodes[cands.Px[lo]]
+				a := arenas[worker]
+				pys, out := a.NodeScratch(m)
+				for k := 0; k < m; k++ {
+					pys[k] = nodes[cands.Py[lo+k]]
+				}
+				rep.CombineManyInto(px, pys, out, a)
+				pxBytes := int64(px.Bytes())
+				remoteParent := pxBytes // px streamed once per block
+				var mem int64
+				for k := 0; k < m; k++ {
+					i := lo + k
+					child := out[k]
+					childNodes[i] = child
+					cands.Level.Supports[i] = child.Support()
+					cb := int64(child.Bytes())
+					mem += cb
+					cost := pxBytes + int64(pys[k].Bytes())
+					phase.Add(i, cost+cb, remoteParent+int64(pys[k].Bytes()), cb)
+					remoteParent = 0
+				}
+				rc.ChargeMem(mem)
+				a.Flush()
+			})
+		} else {
+			err = team.ForCtx(rc, n, schedule, func(_, i int) {
+				px := nodes[cands.Px[i]]
+				py := nodes[cands.Py[i]]
+				cost := int64(vertical.CombineCost(px, py))
+				if lazy {
+					cands.Level.Supports[i] = counter.CombineSupport(px, py)
+					phase.Add(i, cost, cost, 0)
+					return
+				}
+				child := rep.Combine(px, py)
+				childNodes[i] = child
+				cands.Level.Supports[i] = child.Support()
+				rc.ChargeMem(int64(child.Bytes()))
+				phase.Add(i, cost+int64(child.Bytes()), cost, int64(child.Bytes()))
+			})
+		}
 		core.EmitPhases(o, met)
 		if err != nil {
 			return collect(err)
@@ -242,6 +306,19 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 			}
 			// Release the infrequent candidates' payloads.
 			rc.ChargeMem(vertical.NodesBytes(next) - vertical.NodesBytes(childNodes))
+			if batch {
+				// Recycle the infrequent children's buffers: nil out the
+				// survivors, then release the rest round-robin so every
+				// worker's free list warms up, not just worker 0's.
+				// Children never alias parents or each other, so the kept
+				// payloads are safe.
+				for _, i := range kept {
+					childNodes[i] = nil
+				}
+				for j, c := range childNodes {
+					arenas[j%len(arenas)].Release(c)
+				}
+			}
 		}
 		if err := rc.AddItemsets(level.Len()); err != nil {
 			return collect(err)
@@ -262,6 +339,12 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 			}
 		}
 		rc.ChargeMem(-MemoryFootprint(nodes)) // retire the parent level
+		if batch && parentsReleasable {
+			for j, p := range nodes {
+				arenas[j%len(arenas)].Release(p)
+			}
+		}
+		parentsReleasable = true // committed levels are miner-owned
 		nodes = next
 		obs.Emit(o, obs.Event{Type: obs.LevelEnd, Level: gen + 1, Phase: phaseName,
 			Candidates: n, Pruned: pruned, Frequent: level.Len(),

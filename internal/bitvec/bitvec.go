@@ -140,6 +140,54 @@ func (v *Vector) AndCount(u *Vector) int {
 	return c
 }
 
+// andTileWords is the strip width of AndManyInto in 64-bit words:
+// 512 words = 4 KiB of parent payload per tile, small enough that a
+// tile stays cache-resident while it is ANDed against every child of a
+// prefix block.
+const andTileWords = 512
+
+// AndManyInto stores px AND pys[j] into outs[j] and the popcount of
+// that result into sups[j], for every j. All vectors must share px's
+// length; len(outs) and len(sups) must equal len(pys). The loop is
+// strip-mined over word tiles: a tile of the shared parent is loaded
+// once and ANDed+popcounted against the matching tile of every child
+// before eviction, so the parent streams from memory once per block
+// instead of once per child — and the popcount is fused into the same
+// pass, where the pairwise AndInto+Count path takes two.
+func AndManyInto(px *Vector, pys, outs []*Vector, sups []int) {
+	m := len(pys)
+	if m == 0 {
+		return
+	}
+	for j := range pys {
+		checkLen(px, pys[j])
+		checkLen(px, outs[j])
+		sups[j] = 0
+	}
+	nw := len(px.words)
+	tiles := 0
+	for lo := 0; lo < nw; lo += andTileWords {
+		hi := min(lo+andTileWords, nw)
+		pw := px.words[lo:hi]
+		for j := range pys {
+			yw := pys[j].words[lo:hi]
+			ow := outs[j].words[lo:hi]
+			c := 0
+			for k, p := range pw {
+				w := p & yw[k]
+				ow[k] = w
+				c += bits.OnesCount64(w)
+			}
+			sups[j] += c
+		}
+		tiles++
+	}
+	kcount.AddWordsANDed(nw * m)
+	kcount.AddWordsPopcounted(nw * m)
+	kcount.AddTiles(tiles)
+	kcount.AddBatch(m, nw)
+}
+
 // AndNot returns v AND NOT u as a new vector (set difference).
 func (v *Vector) AndNot(u *Vector) *Vector {
 	out := New(v.n)

@@ -1,0 +1,87 @@
+// Batch on/off equivalence: the prefix-blocked combine path must emit
+// exactly the same itemsets with the same supports as the pairwise
+// loop, for every representation, decomposition depth, and schedule.
+package eclat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+	"repro/internal/sched"
+	"repro/internal/verify"
+	"repro/internal/vertical"
+)
+
+func TestBatchMatchesPairwise(t *testing.T) {
+	rec := classicRecoded(t, 2)
+	for _, kind := range vertical.AllKinds() {
+		for _, depth := range []int{1, 2, 3, 0} {
+			for _, workers := range []int{1, 4} {
+				on := core.DefaultOptions(kind, workers)
+				on.EclatDepth = depth
+				off := on
+				off.Batch = false
+				a, b := mine(rec, 2, on), mine(rec, 2, off)
+				if !a.Equal(b) {
+					t.Errorf("%v depth=%d workers=%d: batch != pairwise:\n%s",
+						kind, depth, workers, verify.Diff(a, b))
+				}
+			}
+		}
+	}
+}
+
+func TestBatchMatchesPairwiseSteal(t *testing.T) {
+	// Force aggressive subtree spawning so batched combines run on
+	// stolen subtrees (thief-owned arenas) too.
+	old := stealSpawnWork
+	stealSpawnWork = 1
+	defer func() { stealSpawnWork = old }()
+	rec := classicRecoded(t, 2)
+	for _, kind := range vertical.Kinds() {
+		on := core.DefaultOptions(kind, 4)
+		on.Schedule, on.HasSchedule = sched.Schedule{Policy: sched.Steal}, true
+		off := on
+		off.Batch = false
+		a, b := mine(rec, 2, on), mine(rec, 2, off)
+		if !a.Equal(b) {
+			t.Errorf("%v steal: batch != pairwise:\n%s", kind, verify.Diff(a, b))
+		}
+	}
+}
+
+func TestQuickBatchMatchesPairwise(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	law := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		db := &dataset.DB{Name: "rand"}
+		nTrans := 5 + r.Intn(40)
+		nItems := 3 + r.Intn(7)
+		for i := 0; i < nTrans; i++ {
+			var items []itemset.Item
+			for it := 0; it < nItems; it++ {
+				if r.Intn(3) > 0 {
+					items = append(items, itemset.Item(it))
+				}
+			}
+			if len(items) == 0 {
+				items = append(items, 0)
+			}
+			db.Transactions = append(db.Transactions, itemset.New(items...))
+		}
+		minSup := 1 + r.Intn(nTrans/2+1)
+		rec := db.Recode(minSup)
+		on := core.DefaultOptions(vertical.AllKinds()[r.Intn(4)], []int{1, 4}[r.Intn(2)])
+		on.EclatDepth = 1 + r.Intn(4)
+		off := on
+		off.Batch = false
+		return mine(rec, minSup, on).Equal(mine(rec, minSup, off))
+	}
+	if err := quick.Check(law, cfg); err != nil {
+		t.Errorf("batch vs pairwise: %v", err)
+	}
+}

@@ -172,10 +172,10 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 	}
 	var err error
 	if depth == 1 {
-		err = mineDepth1(rep, roots, rootBytes, minSup, team, schedule, col, rc, o, met, private, arenas)
+		err = mineDepth1(rep, roots, rootBytes, minSup, opt.Batch, team, schedule, col, rc, o, met, private, arenas)
 	} else {
-		m := &flattenedMiner{rep: rep, minSup: minSup, depth: depth, team: team,
-			schedule: schedule, col: col, rc: rc, o: o, met: met, res: res,
+		m := &flattenedMiner{rep: rep, minSup: minSup, depth: depth, batch: opt.Batch,
+			team: team, schedule: schedule, col: col, rc: rc, o: o, met: met, res: res,
 			private: private, arenas: arenas}
 		err = m.run(roots, rootBytes)
 	}
@@ -199,7 +199,7 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 // mineDepth1 runs the paper-literal decomposition: one task per
 // first-level class.
 func mineDepth1(rep vertical.Representation, roots []vertical.Node, rootBytes int64,
-	minSup int, team *sched.Team, schedule sched.Schedule, col *perf.Collector,
+	minSup int, batch bool, team *sched.Team, schedule sched.Schedule, col *perf.Collector,
 	rc *runctl.Control, o obs.Observer, met *sched.Metrics,
 	private [][]core.ItemsetCount, arenas []*vertical.Arena) error {
 
@@ -211,7 +211,13 @@ func mineDepth1(rep vertical.Representation, roots []vertical.Node, rootBytes in
 	if phase != nil {
 		phase.UniqueParent = rootBytes
 	}
-	cc := &classCtx{rep: rep, minSup: minSup, phase: phase, rc: rc,
+	// Shared read-only atom view of the roots, so the batched path can
+	// hand class i the sibling run roots[i+1:] without per-task copies.
+	rootAtoms := make([]atom, n)
+	for j := range roots {
+		rootAtoms[j] = atom{item: itemset.Item(j), node: roots[j]}
+	}
+	cc := &classCtx{rep: rep, minSup: minSup, batch: batch, phase: phase, rc: rc,
 		arenas: arenas, private: private}
 	mineClass := func(w, i int, sp sched.SpawnFunc) {
 		m := cc.newMiner(w, i, sp)
@@ -219,19 +225,23 @@ func mineDepth1(rep vertical.Representation, roots []vertical.Node, rootBytes in
 		// recursion below reads only worker-local payloads.
 		prefix := itemset.New(itemset.Item(i))
 		var class []atom
-		for j := i + 1; j < n; j++ {
-			if m.rc.Stopped() {
-				break
-			}
-			child := m.combine(roots[i], roots[j])
-			cost := int64(vertical.CombineCost(roots[i], roots[j]))
-			m.add(cost+int64(child.Bytes()), cost, int64(child.Bytes()))
-			if child.Support() >= minSup {
-				m.emit(prefix.Extend(itemset.Item(j)), child.Support())
-				m.rc.ChargeMem(int64(child.Bytes()))
-				class = append(class, atom{item: itemset.Item(j), node: child})
-			} else {
-				m.arena.Release(child)
+		if batch {
+			class = m.batchCombine(prefix, roots[i], rootAtoms[i+1:], false)
+		} else {
+			for j := i + 1; j < n; j++ {
+				if m.rc.Stopped() {
+					break
+				}
+				child := m.combine(roots[i], roots[j])
+				cost := int64(vertical.CombineCost(roots[i], roots[j]))
+				m.add(cost+int64(child.Bytes()), cost, int64(child.Bytes()))
+				if child.Support() >= minSup {
+					m.emit(prefix.Extend(itemset.Item(j)), child.Support())
+					m.rc.ChargeMem(int64(child.Bytes()))
+					class = append(class, atom{item: itemset.Item(j), node: child})
+				} else {
+					m.arena.Release(child)
+				}
 			}
 		}
 		m.recurse(prefix, class)
@@ -302,6 +312,7 @@ type flattenedMiner struct {
 	rep      vertical.Representation
 	minSup   int
 	depth    int
+	batch    bool
 	team     *sched.Team
 	schedule sched.Schedule
 	col      *perf.Collector
@@ -451,8 +462,8 @@ func (f *flattenedMiner) run(roots []vertical.Node, rootBytes int64) error {
 		phase.UniqueParent = maxClassBytes(classes)
 	}
 	rep = f.rep
-	cc := &classCtx{rep: rep, minSup: f.minSup, phase: phase, rc: f.rc,
-		arenas: f.arenas, private: f.private}
+	cc := &classCtx{rep: rep, minSup: f.minSup, batch: f.batch, phase: phase,
+		rc: f.rc, arenas: f.arenas, private: f.private}
 	mineSubtree := func(w, t int, sp sched.SpawnFunc) {
 		e := tasks[t]
 		class := classes[e.class]
@@ -512,8 +523,8 @@ func (f *flattenedMiner) expandLevel(classes []eqClass, memberSize int) ([]eqCla
 		// Frequent children become the next flattened level and stay
 		// live past this stage, so they are never released back; only
 		// the infrequent majority recycles through the arena.
-		m := &minerState{rep: rep, minSup: f.minSup, phase: phase, task: t,
-			rc: f.rc, arena: f.arenas[w]}
+		m := &minerState{rep: rep, minSup: f.minSup, batch: f.batch, phase: phase,
+			task: t, rc: f.rc, arena: f.arenas[w]}
 		sub := m.expandOne(class, int(e.pos))
 		if len(sub) > 0 {
 			next[t] = eqClass{prefix: class.prefix.Extend(class.atoms[e.pos].item), atoms: sub}
@@ -555,6 +566,9 @@ func (f *flattenedMiner) expandLevel(classes []eqClass, memberSize int) ([]eqCla
 func (m *minerState) expandOne(class eqClass, pos int) []atom {
 	a := class.atoms[pos]
 	newPrefix := class.prefix.Extend(a.item)
+	if m.batch {
+		return m.batchCombine(newPrefix, a.node, class.atoms[pos+1:], false)
+	}
 	var sub []atom
 	for k := pos + 1; k < len(class.atoms); k++ {
 		if m.rc.Stopped() {
@@ -586,6 +600,7 @@ func (m *minerState) expandOne(class eqClass, pos int) []atom {
 type classCtx struct {
 	rep     vertical.Representation
 	minSup  int
+	batch   bool
 	phase   *perf.Phase
 	rc      *runctl.Control
 	arenas  []*vertical.Arena
@@ -599,8 +614,8 @@ type classCtx struct {
 // originating task's slot (Phase.Add is atomic, so concurrent charges
 // to one slot are safe).
 func (cc *classCtx) newMiner(w, task int, sp sched.SpawnFunc) *minerState {
-	return &minerState{rep: cc.rep, minSup: cc.minSup, phase: cc.phase,
-		task: task, rc: cc.rc, arena: cc.arenas[w], spawn: sp, cc: cc}
+	return &minerState{rep: cc.rep, minSup: cc.minSup, batch: cc.batch,
+		phase: cc.phase, task: task, rc: cc.rc, arena: cc.arenas[w], spawn: sp, cc: cc}
 }
 
 // finishMiner publishes a completed task's results into the stage
@@ -625,6 +640,7 @@ var stealSpawnWork int64 = 1 << 16
 type minerState struct {
 	rep    vertical.Representation
 	minSup int
+	batch  bool
 	phase  *perf.Phase
 	task   int
 	rc     *runctl.Control
@@ -638,6 +654,53 @@ type minerState struct {
 // the representation supports recycling, allocating otherwise.
 func (m *minerState) combine(px, py vertical.Node) vertical.Node {
 	return vertical.CombineWith(m.rep, m.arena, px, py)
+}
+
+// batchCombine is the prefix-blocked form of the class-extension loop:
+// one CombineManyInto call joins base against the entire sibling run, so
+// the resident base payload streams once per class instead of once per
+// sibling. Results, emissions and arena recycling are identical to the
+// pairwise loop; only the kernel call structure (and the remote-traffic
+// model, which now charges base once per class) changes. Cancellation
+// coarsens to whole-class granularity: the stop flag is checked before
+// the kernel call, not between siblings.
+//
+// The gather/output slices come from the arena's NodeScratch and are
+// reused across recursion depths — safe because every surviving child is
+// copied into the returned subclass before the recursion descends and
+// calls batchCombine again.
+func (m *minerState) batchCombine(newPrefix itemset.Itemset, base vertical.Node,
+	sibs []atom, local bool) []atom {
+	if len(sibs) == 0 || m.rc.Stopped() {
+		return nil
+	}
+	n := len(sibs)
+	pys, out := m.arena.NodeScratch(n)
+	for k, s := range sibs {
+		pys[k] = s.node
+	}
+	m.rep.CombineManyInto(base, pys, out, m.arena)
+	remoteBase := int64(base.Bytes()) // streamed once per class
+	var sub []atom
+	for k, s := range sibs {
+		child := out[k]
+		cost := int64(vertical.CombineCost(base, s.node))
+		cb := int64(child.Bytes())
+		if local {
+			m.addLocal(cost+cb, cb)
+		} else {
+			m.add(cost+cb, remoteBase+int64(s.node.Bytes()), cb)
+			remoteBase = 0
+		}
+		if child.Support() >= m.minSup {
+			m.emit(newPrefix.Extend(s.item), child.Support())
+			m.rc.ChargeMem(cb)
+			sub = append(sub, atom{item: s.item, node: child})
+		} else {
+			m.arena.Release(child)
+		}
+	}
+	return sub
 }
 
 func (m *minerState) add(work, remote, alloc int64) {
@@ -695,16 +758,20 @@ func (m *minerState) recurse(prefix itemset.Itemset, class []atom) {
 		}
 		newPrefix := prefix.Extend(class[i].item)
 		var sub []atom
-		for j := i + 1; j < len(class); j++ {
-			child := m.combine(class[i].node, class[j].node)
-			cost := int64(vertical.CombineCost(class[i].node, class[j].node))
-			m.addLocal(cost+int64(child.Bytes()), int64(child.Bytes()))
-			if child.Support() >= m.minSup {
-				m.emit(newPrefix.Extend(class[j].item), child.Support())
-				m.rc.ChargeMem(int64(child.Bytes()))
-				sub = append(sub, atom{item: class[j].item, node: child})
-			} else {
-				m.arena.Release(child)
+		if m.batch {
+			sub = m.batchCombine(newPrefix, class[i].node, class[i+1:], true)
+		} else {
+			for j := i + 1; j < len(class); j++ {
+				child := m.combine(class[i].node, class[j].node)
+				cost := int64(vertical.CombineCost(class[i].node, class[j].node))
+				m.addLocal(cost+int64(child.Bytes()), int64(child.Bytes()))
+				if child.Support() >= m.minSup {
+					m.emit(newPrefix.Extend(class[j].item), child.Support())
+					m.rc.ChargeMem(int64(child.Bytes()))
+					sub = append(sub, atom{item: class[j].item, node: child})
+				} else {
+					m.arena.Release(child)
+				}
 			}
 		}
 		if m.spawn != nil && len(sub) > 1 &&

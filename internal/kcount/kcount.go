@@ -66,6 +66,21 @@ type Stats struct {
 	// allocator — the zero-allocation combine path's figure of merit.
 	ArenaHits   int64
 	ArenaMisses int64
+	// BatchCalls counts invocations of the batched (prefix-blocked)
+	// combine kernels: one call intersects/subtracts/ANDs a resident
+	// parent against an entire sibling run.
+	BatchCalls int64
+	// ParentWordsSaved counts the parent payload words the batched
+	// kernels did NOT re-stream: a batch of m children reads the shared
+	// parent once instead of m times, saving (m−1) × parent words. This
+	// is the measurable proxy for the paper's §V parent-traffic
+	// argument. Units are payload words (4-byte for tidset/diffset,
+	// 8-byte for bitvector).
+	ParentWordsSaved int64
+	// TilesProcessed counts word tiles the strip-mined bitvector batch
+	// kernel streamed (one tile ANDed+popcounted against every child of
+	// the run before eviction).
+	TilesProcessed int64
 }
 
 // Sub returns s − prev, field-wise.
@@ -77,9 +92,12 @@ func (s Stats) Sub(prev Stats) Stats {
 		GallopProbes:    s.GallopProbes - prev.GallopProbes,
 		WordsANDed:      s.WordsANDed - prev.WordsANDed,
 		WordsPopcounted: s.WordsPopcounted - prev.WordsPopcounted,
-		HybridFlips:     s.HybridFlips - prev.HybridFlips,
-		ArenaHits:       s.ArenaHits - prev.ArenaHits,
-		ArenaMisses:     s.ArenaMisses - prev.ArenaMisses,
+		HybridFlips:      s.HybridFlips - prev.HybridFlips,
+		ArenaHits:        s.ArenaHits - prev.ArenaHits,
+		ArenaMisses:      s.ArenaMisses - prev.ArenaMisses,
+		BatchCalls:       s.BatchCalls - prev.BatchCalls,
+		ParentWordsSaved: s.ParentWordsSaved - prev.ParentWordsSaved,
+		TilesProcessed:   s.TilesProcessed - prev.TilesProcessed,
 	}
 	for k := 0; k < numKinds; k++ {
 		d.NodesBuilt[k] = s.NodesBuilt[k] - prev.NodesBuilt[k]
@@ -107,6 +125,9 @@ func (s Stats) Map() map[string]int64 {
 	put("hybrid_flips", s.HybridFlips)
 	put("arena_hits", s.ArenaHits)
 	put("arena_misses", s.ArenaMisses)
+	put("batch_calls", s.BatchCalls)
+	put("parent_words_saved", s.ParentWordsSaved)
+	put("tiles_processed", s.TilesProcessed)
 	for k := 0; k < numKinds; k++ {
 		put("nodes_built_"+kindNames[k], s.NodesBuilt[k])
 		put("bytes_materialized_"+kindNames[k], s.BytesMaterialized[k])
@@ -126,6 +147,9 @@ type counters struct {
 	hybridFlips     atomic.Int64
 	arenaHits       atomic.Int64
 	arenaMisses     atomic.Int64
+	batchCalls      atomic.Int64
+	parentSaved     atomic.Int64
+	tilesProcessed  atomic.Int64
 	nodesBuilt      [numKinds]atomic.Int64
 	bytesMat        [numKinds]atomic.Int64
 }
@@ -168,6 +192,9 @@ func Snapshot() Stats {
 	s.HybridFlips = global.hybridFlips.Load()
 	s.ArenaHits = global.arenaHits.Load()
 	s.ArenaMisses = global.arenaMisses.Load()
+	s.BatchCalls = global.batchCalls.Load()
+	s.ParentWordsSaved = global.parentSaved.Load()
+	s.TilesProcessed = global.tilesProcessed.Load()
 	for k := 0; k < numKinds; k++ {
 		s.NodesBuilt[k] = global.nodesBuilt[k].Load()
 		s.BytesMaterialized[k] = global.bytesMat[k].Load()
@@ -235,5 +262,36 @@ func AddArena(hits, misses int64) {
 	if Enabled() && (hits != 0 || misses != 0) {
 		global.arenaHits.Add(hits)
 		global.arenaMisses.Add(misses)
+	}
+}
+
+// AddBatch accounts one batched combine kernel call over m children of
+// a parent of parentWords payload words: the pairwise path would have
+// streamed the parent m times, so (m−1) × parentWords words of parent
+// traffic were saved.
+func AddBatch(m, parentWords int) {
+	if Enabled() {
+		global.batchCalls.Add(1)
+		if m > 1 {
+			global.parentSaved.Add(int64(m-1) * int64(parentWords))
+		}
+	}
+}
+
+// AddTiles accounts n word tiles streamed by the strip-mined bitvector
+// batch kernel.
+func AddTiles(n int) {
+	if Enabled() {
+		global.tilesProcessed.Add(int64(n))
+	}
+}
+
+// AddNodes accounts n materialized payload nodes of one kind totalling
+// bytes — the batched form of AddNode, one atomic round per kernel
+// call instead of one per child.
+func AddNodes(kind, n, bytes int) {
+	if Enabled() && kind >= 0 && kind < numKinds && n > 0 {
+		global.nodesBuilt[kind].Add(int64(n))
+		global.bytesMat[kind].Add(int64(bytes))
 	}
 }

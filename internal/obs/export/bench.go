@@ -26,7 +26,12 @@ type Bench struct {
 	// Schedule names a non-default loop schedule (e.g. "steal"); empty
 	// means the algorithm's own default. Files written before the field
 	// existed decode with it empty, so the v1 schema is unchanged.
-	Schedule    string  `json:"schedule,omitempty"`
+	Schedule string `json:"schedule,omitempty"`
+	// Batch names a non-default combine-batching mode ("off" when the
+	// prefix-blocked batched kernels are disabled); empty means the
+	// default (batched). Same backward-compatibility story as Schedule:
+	// files written before the field existed decode with it empty.
+	Batch       string  `json:"batch,omitempty"`
 	Threads     int     `json:"threads"`
 	Rep         int     `json:"rep"`
 	WallSeconds float64 `json:"wall_seconds"`

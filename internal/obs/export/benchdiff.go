@@ -22,6 +22,7 @@ type BenchKey struct {
 	Algorithm      string `json:"algorithm"`
 	Representation string `json:"representation,omitempty"`
 	Schedule       string `json:"schedule,omitempty"`
+	Batch          string `json:"batch,omitempty"`
 	Threads        int    `json:"threads"`
 }
 
@@ -33,6 +34,9 @@ func (k BenchKey) String() string {
 	s := fmt.Sprintf("%s/%s/%s/t%d", k.Dataset, k.Algorithm, rep, k.Threads)
 	if k.Schedule != "" {
 		s += "@" + k.Schedule
+	}
+	if k.Batch != "" {
+		s += "#" + k.Batch
 	}
 	return s
 }
@@ -54,7 +58,8 @@ func BenchCells(f *BenchFile) (map[BenchKey]BenchCell, error) {
 	cells := map[BenchKey]BenchCell{}
 	for _, b := range f.Results {
 		k := BenchKey{Dataset: b.Dataset, Algorithm: b.Algorithm,
-			Representation: b.Representation, Schedule: b.Schedule, Threads: b.Threads}
+			Representation: b.Representation, Schedule: b.Schedule,
+			Batch: b.Batch, Threads: b.Threads}
 		c, ok := cells[k]
 		if !ok {
 			cells[k] = BenchCell{Wall: b.WallSeconds, Peak: b.PeakBytes, Itemsets: b.Itemsets, Reps: 1}
@@ -108,6 +113,16 @@ func sortKeys(ks []BenchKey) {
 func StripSchedule(f *BenchFile) {
 	for i := range f.Results {
 		f.Results[i].Schedule = ""
+	}
+}
+
+// StripBatch clears the batch mode of every result, collapsing each
+// batch variant onto its base cell — the batched-vs-pairwise A/B
+// comparison (-batch=off against a default baseline). DiffBench's
+// exact-itemset check then proves the two modes mine identical sets.
+func StripBatch(f *BenchFile) {
+	for i := range f.Results {
+		f.Results[i].Batch = ""
 	}
 }
 

@@ -12,13 +12,24 @@
 package ptrie
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/itemset"
 	"repro/internal/sched"
 )
+
+// childCmp orders children by item, for the binary searches below.
+func childCmp(c *node, it itemset.Item) int {
+	switch {
+	case c.item < it:
+		return -1
+	case c.item > it:
+		return 1
+	}
+	return 0
+}
 
 // node is one trie node; the path from the root spells an itemset.
 type node struct {
@@ -33,8 +44,7 @@ type node struct {
 
 // find returns the child with the given item, or nil.
 func (n *node) find(it itemset.Item) *node {
-	i := sort.Search(len(n.children), func(i int) bool { return n.children[i].item >= it })
-	if i < len(n.children) && n.children[i].item == it {
+	if i, ok := slices.BinarySearchFunc(n.children, it, childCmp); ok {
 		return n.children[i]
 	}
 	return nil
@@ -42,8 +52,8 @@ func (n *node) find(it itemset.Item) *node {
 
 // insert adds (or returns) the child with the given item, keeping order.
 func (n *node) insert(it itemset.Item) *node {
-	i := sort.Search(len(n.children), func(i int) bool { return n.children[i].item >= it })
-	if i < len(n.children) && n.children[i].item == it {
+	i, ok := slices.BinarySearchFunc(n.children, it, childCmp)
+	if ok {
 		return n.children[i]
 	}
 	c := &node{item: it, leaf: -1}

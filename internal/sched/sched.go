@@ -176,6 +176,43 @@ func (c *staticChunker) Next(worker int) (int, int, bool) {
 	return ch[0], ch[1], true
 }
 
+// newWeightedStaticChunker partitions [0, n) into p contiguous blocks
+// of near-equal cumulative weight: worker w's block ends where the
+// running weight first reaches total·(w+1)/p. This is the weighted
+// analogue of schedule(static): assignment is still decided entirely
+// up front and iterations stay contiguous, but the cut points follow
+// estimated cost instead of iteration count. All-zero (or negative)
+// totals degrade to the equal split.
+func newWeightedStaticChunker(n, p int, weights []int64) *staticChunker {
+	var total int64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return newStaticChunker(n, p, 0)
+	}
+	c := &staticChunker{chunks: make([][][2]int, p), pos: make([]int64, p)}
+	lo := 0
+	var acc int64
+	for w := 0; w < p; w++ {
+		hi := lo
+		if w == p-1 {
+			hi = n
+		} else {
+			target := total * int64(w+1) / int64(p)
+			for hi < n && acc < target {
+				acc += weights[hi]
+				hi++
+			}
+		}
+		if hi > lo {
+			c.chunks[w] = append(c.chunks[w], [2]int{lo, hi})
+		}
+		lo = hi
+	}
+	return c
+}
+
 // dynamicChunker deals fixed chunks from a shared atomic counter.
 type dynamicChunker struct {
 	next  int64
@@ -366,7 +403,12 @@ func (t *Team) ForCtx(rc *runctl.Control, n int, s Schedule, body func(worker, i
 	}
 	ls.rec = t.metrics.begin(n, p, s)
 	defer ls.rec.finish(t.metrics)
-	ch := NewChunker(n, p, s)
+	return t.runLoop(ls, p, NewChunker(n, p, s), body)
+}
+
+// runLoop drives a prepared chunker on the team and returns the loop's
+// outcome — the shared tail of ForCtx and ForWeightedCtx.
+func (t *Team) runLoop(ls *loopState, p int, ch Chunker, body func(worker, i int)) error {
 	if p == 1 {
 		ls.runWorker(0, ch, body)
 		return ls.err()
@@ -381,6 +423,33 @@ func (t *Team) ForCtx(rc *runctl.Control, n int, s Schedule, body func(worker, i
 	}
 	wg.Wait()
 	return ls.err()
+}
+
+// ForWeightedCtx is ForCtx with a per-iteration cost estimate. Under
+// schedule(static) with the default chunk, the contiguous per-worker
+// blocks are cut at near-equal cumulative weight instead of equal
+// iteration count — the paper's static-balance property preserved when
+// iterations are whole prefix blocks of very different combine cost.
+// Every other schedule self-balances by handing out work on demand, so
+// the weights are ignored and the call is exactly ForCtx (under Steal
+// a flat loop is dynamic with chunk 1, so each hand-out is a single
+// whole iteration either way). len(weights) must be n; anything else
+// (including nil) degrades to ForCtx.
+func (t *Team) ForWeightedCtx(rc *runctl.Control, n int, weights []int64, s Schedule, body func(worker, i int)) error {
+	if len(weights) != n || n == 0 || s.Policy != Static || s.Chunk > 0 {
+		return t.ForCtx(rc, n, s, body)
+	}
+	ls := &loopState{rc: rc}
+	if err := rc.Err(); err != nil {
+		return err
+	}
+	p := t.workers
+	if p > n {
+		p = n
+	}
+	ls.rec = t.metrics.begin(n, p, s)
+	defer ls.rec.finish(t.metrics)
+	return t.runLoop(ls, p, newWeightedStaticChunker(n, p, weights), body)
 }
 
 // For executes body(worker, i) for every i in [0, n) under schedule s.

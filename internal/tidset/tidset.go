@@ -105,6 +105,12 @@ func (s Set) IntersectInto(t Set, dst Set) Set {
 	if len(t)/len(s) >= gallopRatio {
 		return gallopIntersect(s, t, dst)
 	}
+	return mergeIntersect(s, t, dst)
+}
+
+// mergeIntersect is the linear two-pointer intersection; s must be the
+// shorter operand and non-empty.
+func mergeIntersect(s, t Set, dst Set) Set {
 	i, j := 0, 0
 	for i < len(s) && j < len(t) {
 		a, b := s[i], t[j]
@@ -123,9 +129,40 @@ func (s Set) IntersectInto(t Set, dst Set) Set {
 	return dst
 }
 
+// MergeIntersectInto and GallopIntersectInto run one intersection
+// strategy unconditionally, bypassing IntersectInto's gallopRatio
+// switch. They exist for cmd/calibrate -gallop, which re-times the
+// merge-vs-gallop crossover on a new host to validate gallopRatio;
+// every other caller should use IntersectInto, which picks for itself.
+func MergeIntersectInto(s, t Set, dst Set) Set {
+	dst = dst[:0]
+	if len(s) > len(t) {
+		s, t = t, s
+	}
+	if len(s) == 0 {
+		return dst
+	}
+	return mergeIntersect(s, t, dst)
+}
+
+// GallopIntersectInto is MergeIntersectInto's exponential-search twin.
+func GallopIntersectInto(s, t Set, dst Set) Set {
+	dst = dst[:0]
+	if len(s) > len(t) {
+		s, t = t, s
+	}
+	if len(s) == 0 {
+		return dst
+	}
+	return gallopIntersect(s, t, dst)
+}
+
 // gallopRatio is the length disparity at which intersection switches from
-// a linear merge to exponential search over the longer operand.
-const gallopRatio = 16
+// a linear merge to exponential search over the longer operand. Re-derived
+// with `calibrate -gallop` (results/CALIBRATE_gallop.txt): galloping wins
+// from an 8x disparity up on the current host; both strategies return
+// identical sets, so the constant is purely a speed knob.
+const gallopRatio = 8
 
 // gallopIntersect intersects short s against long t by exponential +
 // binary search. The kernel counter charges one gallop pick per call
@@ -162,6 +199,70 @@ func gallopIntersect(s, t Set, dst Set) Set {
 	}
 	kcount.AddGallop(si, si)
 	return dst
+}
+
+// IntersectManyInto intersects one parent set px against every sibling
+// in pys, appending each result into dsts[i][:0] (entries may be nil)
+// and storing the grown buffer back into dsts[i]. It is semantically
+// identical to len(pys) IntersectInto calls, but the parent is
+// amortized across the block: px's bounds are computed once and each
+// sibling is first trimmed to the window [px[0], px[last]] — the only
+// region that can intersect — so sibling tails outside the parent's
+// range are skipped without entering the merge loop. Charges one
+// batch_calls tick and (m−1)×len(px) parent_words_saved.
+func IntersectManyInto(px Set, pys []Set, dsts []Set) {
+	m := len(pys)
+	if m == 0 {
+		return
+	}
+	if len(px) == 0 {
+		for i := range dsts[:m] {
+			dsts[i] = dsts[i][:0]
+		}
+		kcount.AddBatch(m, 0)
+		return
+	}
+	lo, hi := px[0], px[len(px)-1]
+	for i, py := range pys {
+		dsts[i] = px.IntersectInto(trim(py, lo, hi), dsts[i])
+	}
+	kcount.AddBatch(m, len(px))
+}
+
+// DiffManyInto appends srcs[i] \ sub to dsts[i][:0] for every sibling.
+// This is the diffset combine d(PXY) = d(PY) − d(PX) batched over a
+// prefix block: the shared subtrahend sub = d(PX) is trimmed per
+// sibling to the window that can actually cancel elements, and its
+// re-streaming is charged to the kernel counters once per block
+// instead of once per sibling.
+func DiffManyInto(sub Set, srcs []Set, dsts []Set) {
+	m := len(srcs)
+	if m == 0 {
+		return
+	}
+	for i, src := range srcs {
+		t := sub
+		if len(src) > 0 && len(t) > 0 {
+			t = trim(t, src[0], src[len(src)-1])
+		}
+		dsts[i] = src.DiffInto(t, dsts[i])
+	}
+	kcount.AddBatch(m, len(sub))
+}
+
+// trim returns the sub-slice of s inside the closed window [lo, hi],
+// located by binary search. Elements outside the window cannot survive
+// an intersection with — or cancel an element of — a set bounded by
+// [lo, hi].
+func trim(s Set, lo, hi TID) Set {
+	a, _ := slices.BinarySearch(s, lo)
+	b, _ := slices.BinarySearchFunc(s[a:], hi, func(e, limit TID) int {
+		if e <= limit {
+			return -1
+		}
+		return 1
+	})
+	return s[a : a+b]
 }
 
 // Diff returns s \ t as a new set.

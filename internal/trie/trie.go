@@ -16,6 +16,8 @@ package trie
 
 import (
 	"repro/internal/itemset"
+	"repro/internal/runctl"
+	"repro/internal/sched"
 )
 
 // NoParent marks level-1 nodes, whose prefix is the empty itemset.
@@ -91,6 +93,13 @@ type Candidates struct {
 	Level *Level
 	Px    []int32
 	Py    []int32
+	// Blocks marks the prefix-block boundaries: candidates sharing a Px
+	// are contiguous by construction (Px is non-decreasing across the
+	// generation), and block b spans rows [Blocks[b], Blocks[b+1]). The
+	// final entry is Len() — a sentinel, so len(Blocks)−1 is the number
+	// of blocks. Maintained by Generate and by pruning's compaction;
+	// this is the iteration space of the batched combine path.
+	Blocks []int32
 }
 
 // Len returns the number of candidates.
@@ -110,6 +119,9 @@ func (t *Trie) Generate() *Candidates {
 			runEnd++
 		}
 		for i := runStart; i < runEnd; i++ {
+			if i+1 < runEnd {
+				out.Blocks = append(out.Blocks, int32(len(out.Px)))
+			}
 			for j := i + 1; j < runEnd; j++ {
 				out.Level.Items = append(out.Level.Items, parent.Items[j])
 				out.Level.Parents = append(out.Level.Parents, int32(i))
@@ -119,6 +131,7 @@ func (t *Trie) Generate() *Candidates {
 		}
 		runStart = runEnd
 	}
+	out.Blocks = append(out.Blocks, int32(len(out.Px)))
 	out.Level.Supports = make([]int, len(out.Level.Items))
 	return out
 }
@@ -149,21 +162,8 @@ func (t *Trie) Prune(c *Candidates) int {
 	keep := make([]bool, c.Len())
 	removed := 0
 	for i := range keep {
-		full := t.ItemsetOf(k, c.Px[i]).Extend(c.Level.Items[i])
-		ok := true
-		full.AllButOne(func(sub itemset.Itemset) {
-			if !ok {
-				return
-			}
-			// The two generating parents are sub without the last or
-			// second-to-last item; they exist by construction, but a map
-			// hit is cheap and the uniform check keeps the code simple.
-			if _, found := idx[sub.Key()]; !found {
-				ok = false
-			}
-		})
-		keep[i] = ok
-		if !ok {
+		keep[i] = t.subsetsFrequent(idx, c, k, i)
+		if !keep[i] {
 			removed++
 		}
 	}
@@ -171,6 +171,59 @@ func (t *Trie) Prune(c *Candidates) int {
 		c.filter(keep)
 	}
 	return removed
+}
+
+// subsetsFrequent checks candidate i's Apriori property against the
+// k-level hash index: every k-subset of the candidate must be a node
+// of the top level.
+func (t *Trie) subsetsFrequent(idx index, c *Candidates, k, i int) bool {
+	full := t.ItemsetOf(k, c.Px[i]).Extend(c.Level.Items[i])
+	ok := true
+	full.AllButOne(func(sub itemset.Itemset) {
+		if !ok {
+			return
+		}
+		// The two generating parents are sub without the last or
+		// second-to-last item; they exist by construction, but a map
+		// hit is cheap and the uniform check keeps the code simple.
+		if _, found := idx[sub.Key()]; !found {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// PruneParallel is Prune with the per-candidate subset checks run on a
+// worker team — previously a serial Amdahl term charged to the phase
+// accounting as pure serial time. The k-level hash index is built once
+// (serially; it is a shared read-only map during the checks), the keep
+// bitmap is filled on the team, and the surviving rows are compacted
+// serially. It removes exactly the set of candidates Prune removes.
+// On cancellation the candidates are left unpruned (support counting
+// never runs, so no wrong answer can be observed) and the stop cause
+// is returned.
+func (t *Trie) PruneParallel(c *Candidates, team *sched.Team, s sched.Schedule, rc *runctl.Control) (int, error) {
+	k := c.Level.K - 1 // subset size to check
+	if k < 2 {
+		return 0, rc.Err()
+	}
+	idx := t.indexLevel(k)
+	keep := make([]bool, c.Len())
+	if err := team.ForCtx(rc, c.Len(), s, func(_, i int) {
+		keep[i] = t.subsetsFrequent(idx, c, k, i)
+	}); err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, ok := range keep {
+		if !ok {
+			removed++
+		}
+	}
+	if removed > 0 {
+		c.filter(keep)
+	}
+	return removed, nil
 }
 
 // filter compacts the candidate arrays to the kept rows.
@@ -191,6 +244,15 @@ func (c *Candidates) filter(keep []bool) {
 	c.Level.Supports = c.Level.Supports[:w]
 	c.Px = c.Px[:w]
 	c.Py = c.Py[:w]
+	// Rebuild the prefix blocks: compaction preserves Px order, so the
+	// kept rows' Px change points are the new block starts.
+	c.Blocks = c.Blocks[:0]
+	for i := 0; i < w; i++ {
+		if i == 0 || c.Px[i] != c.Px[i-1] {
+			c.Blocks = append(c.Blocks, int32(i))
+		}
+	}
+	c.Blocks = append(c.Blocks, int32(w))
 }
 
 // Commit filters the candidates to those with Supports >= minSup

@@ -21,6 +21,7 @@ package vertical
 import (
 	"repro/internal/bitvec"
 	"repro/internal/kcount"
+	"repro/internal/tidset"
 )
 
 // arenaMaxFree caps each per-type free list so a briefly-deep
@@ -37,6 +38,18 @@ type Arena struct {
 	bitvecs  []*BitvectorNode
 	hits     int64
 	misses   int64
+
+	// Batched-combine scratch (batch.go), reused across CombineManyInto
+	// calls so the block loop never allocates slice headers. Safe
+	// because an arena is single-worker and every call fully overwrites
+	// the first m entries before reading them.
+	batchSrc []tidset.Set
+	batchDst []tidset.Set
+	batchVec []*bitvec.Vector
+	batchOut []*bitvec.Vector
+	batchSup []int
+	nodePys  []Node
+	nodeOut  []Node
 }
 
 // NewArena returns an empty arena.
@@ -77,8 +90,12 @@ func (a *Arena) Flush() {
 }
 
 // getTidset pops a recycled tidset node (buffer truncated, capacity
-// kept) or allocates one.
+// kept) or allocates one. Nil-safe: the batched combines accept a nil
+// arena (tests, callers without per-worker state) and simply allocate.
 func (a *Arena) getTidset() *TidsetNode {
+	if a == nil {
+		return &TidsetNode{}
+	}
 	if n := len(a.tidsets); n > 0 {
 		nd := a.tidsets[n-1]
 		a.tidsets[n-1] = nil
@@ -91,6 +108,9 @@ func (a *Arena) getTidset() *TidsetNode {
 }
 
 func (a *Arena) getDiffset() *DiffsetNode {
+	if a == nil {
+		return &DiffsetNode{}
+	}
 	if n := len(a.diffsets); n > 0 {
 		nd := a.diffsets[n-1]
 		a.diffsets[n-1] = nil
@@ -108,6 +128,9 @@ func (a *Arena) getDiffset() *DiffsetNode {
 // if one arena serves runs over different databases — is treated as a
 // miss and the mismatched node is dropped.
 func (a *Arena) getBitvec(nbits int) *BitvectorNode {
+	if a == nil {
+		return &BitvectorNode{Bits: bitvec.New(nbits)}
+	}
 	for len(a.bitvecs) > 0 {
 		i := len(a.bitvecs) - 1
 		nd := a.bitvecs[i]
@@ -146,6 +169,11 @@ func CombineWith(rep Representation, a *Arena, px, py Node) Node {
 func (tidsetRep) CombineInto(a *Arena, px, py Node) Node {
 	x, y := px.(*TidsetNode), py.(*TidsetNode)
 	n := a.getTidset()
+	// Presize to the intersection's upper bound so an undersized recycled
+	// buffer doesn't re-grow (copying per doubling) inside the merge loop.
+	if bound := min(len(x.TIDs), len(y.TIDs)); cap(n.TIDs) < bound {
+		n.TIDs = make(tidset.Set, 0, bound)
+	}
 	n.TIDs = x.TIDs.IntersectInto(y.TIDs, n.TIDs)
 	kcount.AddNode(kcount.Tidset, n.Bytes())
 	return n
@@ -154,6 +182,9 @@ func (tidsetRep) CombineInto(a *Arena, px, py Node) Node {
 func (diffsetRep) CombineInto(a *Arena, px, py Node) Node {
 	x, y := px.(*DiffsetNode), py.(*DiffsetNode)
 	n := a.getDiffset()
+	if cap(n.Diff) < len(y.Diff) { // |d(PY) − d(PX)| ≤ |d(PY)|
+		n.Diff = make(tidset.Set, 0, len(y.Diff))
+	}
 	n.Diff = y.Diff.DiffInto(x.Diff, n.Diff) // d(PXY) = d(PY) − d(PX)
 	n.sup = x.sup - len(n.Diff)
 	kcount.AddNode(kcount.Diffset, n.Bytes())

@@ -1,0 +1,159 @@
+// Batched (prefix-blocked) combine. Candidates sharing a prefix PX are
+// contiguous both in the Apriori candidate trie and in Eclat's
+// equivalence classes, yet the pairwise Combine streams the shared
+// parent's payload once per sibling. CombineManyInto amortizes it:
+// one resident parent is combined against an entire sibling run in a
+// single kernel call (tidset.IntersectManyInto, tidset.DiffManyInto,
+// bitvec.AndManyInto), which is the cache-blocked batching of Amossen
+// & Pagh applied to the paper's §V parent-traffic bottleneck. The
+// parent_words_saved counter records the words of parent payload NOT
+// re-streamed relative to the pairwise path.
+//
+// The aliasing and ownership discipline is exactly CombineInto's:
+// results never share backing memory with px or any pys element, and
+// arena storage recycles node buffers when an arena is supplied. A nil
+// arena allocates fresh nodes (and fresh scratch), so the batched path
+// is usable without per-worker state.
+
+package vertical
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/kcount"
+	"repro/internal/tidset"
+)
+
+// scratchSets returns two length-m Set slices for the set-backed batch
+// kernels' source views and destination buffers. Arena-owned so the
+// block loop never allocates; a nil arena gets fresh slices.
+func (a *Arena) scratchSets(m int) (srcs, dsts []tidset.Set) {
+	if a == nil {
+		return make([]tidset.Set, m), make([]tidset.Set, m)
+	}
+	if cap(a.batchSrc) < m {
+		a.batchSrc = make([]tidset.Set, m)
+		a.batchDst = make([]tidset.Set, m)
+	}
+	return a.batchSrc[:m], a.batchDst[:m]
+}
+
+// NodeScratch returns two length-m node slices owned by the arena, for
+// callers gathering a sibling run ahead of CombineManyInto: the pys
+// argument and the out destination. Contents are unspecified; callers
+// must overwrite [:m] before reading. A nil arena gets fresh slices.
+func (a *Arena) NodeScratch(m int) (pys, out []Node) {
+	if a == nil {
+		return make([]Node, m), make([]Node, m)
+	}
+	if cap(a.nodePys) < m {
+		a.nodePys = make([]Node, m)
+		a.nodeOut = make([]Node, m)
+	}
+	return a.nodePys[:m], a.nodeOut[:m]
+}
+
+// scratchVecs is scratchSets' bitvector analogue, plus the per-child
+// support accumulator AndManyInto fills.
+func (a *Arena) scratchVecs(m int) (pys, outs []*bitvec.Vector, sups []int) {
+	if a == nil {
+		return make([]*bitvec.Vector, m), make([]*bitvec.Vector, m), make([]int, m)
+	}
+	if cap(a.batchVec) < m {
+		a.batchVec = make([]*bitvec.Vector, m)
+		a.batchOut = make([]*bitvec.Vector, m)
+		a.batchSup = make([]int, m)
+	}
+	return a.batchVec[:m], a.batchOut[:m], a.batchSup[:m]
+}
+
+func (tidsetRep) CombineManyInto(px Node, pys []Node, out []Node, a *Arena) {
+	m := len(pys)
+	if m == 0 {
+		return
+	}
+	x := px.(*TidsetNode)
+	srcs, dsts := a.scratchSets(m)
+	for i, py := range pys {
+		y := py.(*TidsetNode)
+		srcs[i] = y.TIDs
+		nd := a.getTidset()
+		// Presize to the intersection's upper bound: an undersized
+		// recycled buffer would re-grow inside the merge loop, paying a
+		// copy per doubling — dearer than one right-sized allocation.
+		if bound := min(len(x.TIDs), len(y.TIDs)); cap(nd.TIDs) < bound {
+			nd.TIDs = make(tidset.Set, 0, bound)
+		}
+		dsts[i] = nd.TIDs
+		out[i] = nd
+	}
+	tidset.IntersectManyInto(x.TIDs, srcs, dsts)
+	bytes := 0
+	for i := range dsts {
+		nd := out[i].(*TidsetNode)
+		nd.TIDs = dsts[i]
+		bytes += nd.Bytes()
+	}
+	kcount.AddNodes(kcount.Tidset, m, bytes)
+}
+
+func (diffsetRep) CombineManyInto(px Node, pys []Node, out []Node, a *Arena) {
+	m := len(pys)
+	if m == 0 {
+		return
+	}
+	x := px.(*DiffsetNode)
+	srcs, dsts := a.scratchSets(m)
+	for i, py := range pys {
+		y := py.(*DiffsetNode)
+		srcs[i] = y.Diff
+		nd := a.getDiffset()
+		// Presize: d(PY) − d(PX) is at most |d(PY)| elements.
+		if cap(nd.Diff) < len(y.Diff) {
+			nd.Diff = make(tidset.Set, 0, len(y.Diff))
+		}
+		dsts[i] = nd.Diff
+		out[i] = nd
+	}
+	tidset.DiffManyInto(x.Diff, srcs, dsts) // d(PXY) = d(PY) − d(PX)
+	bytes := 0
+	for i := range dsts {
+		nd := out[i].(*DiffsetNode)
+		nd.Diff = dsts[i]
+		nd.sup = x.sup - len(nd.Diff)
+		bytes += nd.Bytes()
+	}
+	kcount.AddNodes(kcount.Diffset, m, bytes)
+}
+
+func (bitvectorRep) CombineManyInto(px Node, pys []Node, out []Node, a *Arena) {
+	m := len(pys)
+	if m == 0 {
+		return
+	}
+	x := px.(*BitvectorNode)
+	vys, vouts, sups := a.scratchVecs(m)
+	for i, py := range pys {
+		vys[i] = py.(*BitvectorNode).Bits
+		nd := a.getBitvec(x.Bits.Len())
+		vouts[i] = nd.Bits
+		out[i] = nd
+	}
+	bitvec.AndManyInto(x.Bits, vys, vouts, sups)
+	bytes := 0
+	for i := range sups {
+		nd := out[i].(*BitvectorNode)
+		nd.sup = sups[i]
+		bytes += nd.Bytes()
+	}
+	kcount.AddNodes(kcount.Bitvector, m, bytes)
+}
+
+// hybridRep batches by falling back to pairwise Combine: a hybrid node
+// flips between tidset and diffset form per child, so there is no
+// shared-parent kernel to amortize — and no batch counters are
+// charged, since no parent words are actually saved.
+func (h hybridRep) CombineManyInto(px Node, pys []Node, out []Node, _ *Arena) {
+	for i, py := range pys {
+		out[i] = h.Combine(px, py)
+	}
+}

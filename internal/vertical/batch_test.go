@@ -1,0 +1,157 @@
+package vertical
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tidset"
+)
+
+// TestCombineManyIntoMatchesCombine: the batched block combine is
+// semantically m pairwise Combines — same supports, same payloads —
+// for every representation (hybrid checked by support only: its node
+// form is a per-child choice), with both a nil arena and a recycling
+// arena whose buffers go through Release between blocks.
+func TestCombineManyIntoMatchesCombine(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	rec := randomRecoded(t, rng, 8, 60)
+	for _, kind := range AllKinds() {
+		for _, arena := range []*Arena{nil, NewArena()} {
+			rep := New(kind)
+			roots := rep.Roots(rec)
+			for i := 0; i < len(roots)-1; i++ {
+				pys := roots[i+1:]
+				out := make([]Node, len(pys))
+				rep.CombineManyInto(roots[i], pys, out, arena)
+				for j, py := range pys {
+					want := rep.Combine(roots[i], py)
+					if out[j].Support() != want.Support() {
+						t.Fatalf("%v block %d child %d: support %d, want %d",
+							kind, i, j, out[j].Support(), want.Support())
+					}
+					if kind != Hybrid && !samePayload(payload(out[j]), payload(want)) {
+						t.Fatalf("%v block %d child %d: payload %v, want %v",
+							kind, i, j, payload(out[j]), payload(want))
+					}
+				}
+				if kind != Hybrid {
+					for _, n := range out {
+						arena.Release(n) // nil-safe; recycles buffers for the next block
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCombineManyIntoNeverAliases extends the arena aliasing property
+// to batched outputs: scribbling over any batched child's full buffer
+// capacity must leave the shared parent, every sibling parent, and
+// every sibling output untouched — and scribbling the parents must
+// leave the children untouched. Three rounds, so rounds past the first
+// run on buffers recycled through the free list.
+func TestCombineManyIntoNeverAliases(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	rec := randomRecoded(t, rng, 7, 50)
+	for _, kind := range Kinds() {
+		rep := New(kind)
+		a := NewArena()
+		for round := 0; round < 3; round++ {
+			// Direction 1: scribbling child j leaves parents and sibling
+			// outputs intact.
+			roots := New(kind).Roots(rec)
+			px, pys := roots[0], roots[1:]
+			parentsBefore := make([][]tidset.TID, len(roots))
+			for i, r := range roots {
+				parentsBefore[i] = payload(r)
+			}
+			out := make([]Node, len(pys))
+			rep.CombineManyInto(px, pys, out, a)
+			sibsBefore := make([][]tidset.TID, len(out))
+			for j, n := range out {
+				sibsBefore[j] = payload(n)
+			}
+			scribble(out[0])
+			for i, r := range roots {
+				if !samePayload(payload(r), parentsBefore[i]) {
+					t.Fatalf("%v round %d: scribbling a child corrupted parent %d", kind, round, i)
+				}
+			}
+			for j := 1; j < len(out); j++ {
+				if !samePayload(payload(out[j]), sibsBefore[j]) {
+					t.Fatalf("%v round %d: scribbling child 0 corrupted sibling %d", kind, round, j)
+				}
+			}
+			for _, n := range out {
+				a.Release(n)
+			}
+
+			// Direction 2: scribbling every parent leaves the children
+			// intact.
+			roots = New(kind).Roots(rec)
+			px, pys = roots[0], roots[1:]
+			out = make([]Node, len(pys))
+			rep.CombineManyInto(px, pys, out, a)
+			childBefore := make([][]tidset.TID, len(out))
+			for j, n := range out {
+				childBefore[j] = payload(n)
+			}
+			for _, r := range roots {
+				scribble(r)
+			}
+			for j, n := range out {
+				if !samePayload(payload(n), childBefore[j]) {
+					t.Fatalf("%v round %d: scribbling parents corrupted child %d", kind, round, j)
+				}
+			}
+			for _, n := range out {
+				a.Release(n)
+			}
+		}
+	}
+}
+
+// The block-combine micro-benchmark pair: one parent against its whole
+// sibling run, batched vs pairwise CombineInto, both at arena steady
+// state. The batched form is the per-block inner loop of the miners.
+
+func BenchmarkCombineManyInto(b *testing.B) {
+	for _, kind := range Kinds() {
+		b.Run(kind.String(), func(b *testing.B) {
+			rep, roots := benchCombineRoots(b, kind)
+			px, pys := roots[0], roots[1:]
+			out := make([]Node, len(pys))
+			a := NewArena()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep.CombineManyInto(px, pys, out, a)
+				for _, n := range out {
+					a.Release(n)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCombinePairwiseBlock(b *testing.B) {
+	for _, kind := range Kinds() {
+		b.Run(kind.String(), func(b *testing.B) {
+			rep, roots := benchCombineRoots(b, kind)
+			ic := rep.(IntoCombiner)
+			px, pys := roots[0], roots[1:]
+			out := make([]Node, len(pys))
+			a := NewArena()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j, py := range pys {
+					out[j] = ic.CombineInto(a, px, py)
+				}
+				for _, n := range out {
+					a.Release(n)
+				}
+			}
+		})
+	}
+}

@@ -92,6 +92,13 @@ type Representation interface {
 	// and PY, where PX's last item orders before PY's. The result's
 	// Support is the candidate's support.
 	Combine(px, py Node) Node
+	// CombineManyInto combines one parent px against every sibling of a
+	// prefix block, storing child i in out[i] (len(out) must be at
+	// least len(pys)). Semantically identical to len(pys) Combine
+	// calls, but the batched kernels stream the shared parent once per
+	// block (batch.go); node storage recycles through arena when one is
+	// supplied — nil is allowed and falls back to fresh allocation.
+	CombineManyInto(px Node, pys []Node, out []Node, arena *Arena)
 }
 
 // New returns the Representation for kind.
