@@ -231,7 +231,24 @@ type Options struct {
 	// representation switch instead of an error, where the algorithm
 	// and representation allow it.
 	DegradeToDiffset bool
+	// SharedPool, when non-nil, joins the run to a machine-wide live-
+	// payload capacity pool spanning concurrent runs (NewSharedPool).
+	// The run's memory deltas are mirrored into the pool; when the
+	// *pool* goes over capacity the run observing the breach stops with
+	// a *BudgetError whose Resource is "shared-memory". This is the
+	// serving layer's global memory budget: per-run MaxMemoryBytes
+	// bounds one tenant, the pool bounds the machine.
+	SharedPool *SharedPool
 }
+
+// SharedPool is a shared live-payload byte budget across concurrent
+// mining runs (Options.SharedPool). See internal/runctl's Pool.
+type SharedPool = runctl.Pool
+
+// NewSharedPool returns a shared budget of capBytes live payload bytes
+// across all runs attached to it. capBytes <= 0 tracks usage without a
+// hard cap.
+func NewSharedPool(capBytes int64) *SharedPool { return runctl.NewPool(capBytes) }
 
 // BudgetError is the typed error a budget-stopped run returns; its
 // Resource field names the exhausted budget ("memory", "itemsets",
@@ -289,6 +306,11 @@ func MineAbsoluteContext(ctx context.Context, db *DB, minSupport int, opt Option
 	if minSupport < 1 {
 		return nil, fmt.Errorf("fim: absolute support %d below 1", minSupport)
 	}
+	switch opt.Algorithm {
+	case core.Apriori, core.Eclat, core.FPGrowth:
+	default:
+		return nil, fmt.Errorf("fim: unknown algorithm %v", opt.Algorithm)
+	}
 	order := dataset.ByCode
 	if opt.OrderByFrequency {
 		order = dataset.ByFrequency
@@ -301,6 +323,9 @@ func MineAbsoluteContext(ctx context.Context, db *DB, minSupport int, opt Option
 		DegradeToDiffset: opt.DegradeToDiffset,
 	})
 	defer rc.Close()
+	if opt.SharedPool != nil {
+		rc.AttachPool(opt.SharedPool)
+	}
 	copt := core.Options{
 		Representation:  opt.Representation,
 		Workers:         opt.Workers,
@@ -321,16 +346,23 @@ func MineAbsoluteContext(ctx context.Context, db *DB, minSupport int, opt Option
 	if opt.SpanTrace != nil {
 		o = obs.Multi(o, opt.SpanTrace)
 	}
-	var kbase kcount.Stats
+	var ktok kcount.RunToken
+	kdone := false
 	if o != nil {
 		copt.Observer = o
 		copt.Metrics = sched.NewMetrics()
 		if opt.SpanTrace != nil {
 			copt.Metrics.SetTracer(opt.SpanTrace)
 		}
-		kcount.Enable()
-		defer kcount.Disable()
-		kbase = kcount.Snapshot()
+		// Kernel counters are process-global; the token detects whether
+		// another instrumented run overlapped this one, in which case the
+		// delta is not attributable to this run and is not reported.
+		ktok = kcount.BeginRun()
+		defer func() {
+			if !kdone {
+				ktok.End()
+			}
+		}()
 		rc.TrackMemory()
 		fracs := opt.BudgetWarnAt
 		if len(fracs) == 0 {
@@ -359,15 +391,16 @@ func MineAbsoluteContext(ctx context.Context, db *DB, minSupport int, opt Option
 		res, err = eclat.Mine(rec, minSupport, copt)
 	case core.FPGrowth:
 		res, err = fpgrowth.Mine(rec, minSupport, copt)
-	default:
-		return nil, fmt.Errorf("fim: unknown algorithm %v", opt.Algorithm)
 	}
 	if o != nil {
 		// Flush scheduler loops that finished after the last level
 		// boundary (early-stopped runs leave undrained phases behind).
 		core.EmitPhases(o, copt.Metrics)
-		o.Event(obs.Event{Type: obs.KernelCounters,
-			Counters: kcount.Snapshot().Sub(kbase).Map()})
+		delta, exclusive := ktok.End()
+		kdone = true
+		if exclusive {
+			o.Event(obs.Event{Type: obs.KernelCounters, Counters: delta.Map()})
+		}
 		if err != nil {
 			o.Event(obs.Event{Type: obs.Stop, Reason: StopReason(err), Err: err.Error()})
 		}
@@ -417,8 +450,27 @@ func DefaultOptions(workers int) Options {
 
 // ReadFIMI parses a database in FIMI repository text format (one
 // transaction per line, space-separated non-negative integer items).
+// It applies no size limits; parse untrusted input with
+// ReadFIMILimits.
 func ReadFIMI(name string, r io.Reader) (*DB, error) {
 	return dataset.ReadFIMI(name, r)
+}
+
+// FIMILimits bounds what ReadFIMILimits accepts: maximum line length,
+// transaction count, and total item occurrences. Zero fields mean "no
+// limit on this axis".
+type FIMILimits = dataset.Limits
+
+// FIMIParseError is the typed error malformed or over-limit FIMI input
+// fails with, carrying the input name, 1-based line number, offending
+// token (empty for limit breaches) and message.
+type FIMIParseError = dataset.ParseError
+
+// ReadFIMILimits is ReadFIMI under explicit input limits, for untrusted
+// sources such as service uploads: a breach fails fast with a typed
+// *FIMIParseError instead of ballooning the process.
+func ReadFIMILimits(name string, r io.Reader, lim FIMILimits) (*DB, error) {
+	return dataset.ReadFIMILimits(name, r, lim)
 }
 
 // ReadFIMIFile reads a FIMI-format file from disk.

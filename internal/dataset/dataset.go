@@ -227,9 +227,11 @@ func (r *Recoded) TidsetOf() []tidset.Set {
 	return sets
 }
 
-// ParseError describes a malformed FIMI input: where it was found
-// (1-based line number) and the offending token. ReadFIMI returns it
-// wrapped in nothing, so errors.As(&ParseError{}) works directly.
+// ParseError describes a malformed FIMI input — where it was found
+// (1-based line number) and the offending token — or a Limits breach,
+// in which case Token is empty and Msg names the exceeded limit.
+// ReadFIMI returns it wrapped in nothing, so errors.As(&ParseError{})
+// works directly.
 type ParseError struct {
 	Name  string // input name as passed to ReadFIMI
 	Line  int    // 1-based line number
@@ -238,7 +240,29 @@ type ParseError struct {
 }
 
 func (e *ParseError) Error() string {
+	if e.Token == "" {
+		// Limit breaches have no offending token, only a location.
+		return fmt.Sprintf("dataset: %s line %d: %s", e.Name, e.Line, e.Msg)
+	}
 	return fmt.Sprintf("dataset: %s line %d: %s %q", e.Name, e.Line, e.Msg, e.Token)
+}
+
+// Limits bounds what ReadFIMILimits accepts from an untrusted reader,
+// so a hostile or corrupt upload cannot balloon the process: a single
+// enormous line, an endless stream of transactions, or a database whose
+// item count alone exhausts memory all fail fast with a *ParseError
+// instead of an OOM. Zero fields mean "no limit on this axis".
+type Limits struct {
+	// MaxLineBytes caps the byte length of one input line (one
+	// transaction). Longer lines fail with a *ParseError naming the
+	// line, not bufio's generic token-too-long error.
+	MaxLineBytes int
+	// MaxTransactions caps the number of non-empty transactions.
+	MaxTransactions int
+	// MaxTotalItems caps the total item occurrences across the whole
+	// database (counted before per-transaction deduplication, i.e. as
+	// the attacker pays for them).
+	MaxTotalItems int64
 }
 
 // ReadFIMI parses the FIMI repository text format: one transaction per
@@ -246,11 +270,33 @@ func (e *ParseError) Error() string {
 // are skipped. Items within a transaction are sorted and deduplicated.
 // Malformed tokens — negative items included — are rejected with a
 // *ParseError carrying the 1-based line number and the token.
+//
+// ReadFIMI applies no size limits and is for trusted inputs (local
+// files, the synthetic generators); untrusted uploads go through
+// ReadFIMILimits.
 func ReadFIMI(name string, r io.Reader) (*DB, error) {
+	return ReadFIMILimits(name, r, Limits{})
+}
+
+// ReadFIMILimits is ReadFIMI under explicit input limits; any breach
+// returns a typed *ParseError locating the offending line.
+func ReadFIMILimits(name string, r io.Reader, lim Limits) (*DB, error) {
 	db := &DB{Name: name}
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	maxLine := 1 << 24
+	if lim.MaxLineBytes > 0 && lim.MaxLineBytes < maxLine {
+		maxLine = lim.MaxLineBytes
+	}
+	initBuf := 1 << 20
+	if maxLine < initBuf {
+		initBuf = maxLine
+	}
+	// +1 so the scanner has room for the newline that terminates a line
+	// of exactly maxLine bytes; content one byte past the limit still
+	// overflows the buffer and fails.
+	sc.Buffer(make([]byte, 0, initBuf), maxLine+1)
 	lineNo := 0
+	var totalItems int64
 	for sc.Scan() {
 		lineNo++
 		line := sc.Bytes()
@@ -285,9 +331,24 @@ func ReadFIMI(name string, r io.Reader) (*DB, error) {
 		if len(items) == 0 {
 			continue
 		}
+		totalItems += int64(len(items))
+		if lim.MaxTotalItems > 0 && totalItems > lim.MaxTotalItems {
+			return nil, &ParseError{Name: name, Line: lineNo,
+				Msg: fmt.Sprintf("total item count exceeds limit %d", lim.MaxTotalItems)}
+		}
+		if lim.MaxTransactions > 0 && len(db.Transactions) >= lim.MaxTransactions {
+			return nil, &ParseError{Name: name, Line: lineNo,
+				Msg: fmt.Sprintf("transaction count exceeds limit %d", lim.MaxTransactions)}
+		}
 		db.Transactions = append(db.Transactions, itemset.New(items...))
 	}
 	if err := sc.Err(); err != nil {
+		if err == bufio.ErrTooLong {
+			// The scanner stops before yielding the oversized line, so it
+			// is the one after the last line delivered.
+			return nil, &ParseError{Name: name, Line: lineNo + 1,
+				Msg: fmt.Sprintf("line exceeds %d bytes", maxLine)}
+		}
 		return nil, fmt.Errorf("dataset: %s: %v", name, err)
 	}
 	return db, nil

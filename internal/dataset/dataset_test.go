@@ -107,6 +107,74 @@ func TestReadFIMIParseErrors(t *testing.T) {
 	}
 }
 
+// TestReadFIMILimits: each Limits axis fails fast with a typed
+// *ParseError locating the breach, and inputs inside the limits parse
+// identically to the unlimited reader.
+func TestReadFIMILimits(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		lim  Limits
+		line int
+		msg  string
+	}{
+		{"line too long", "1 2 3\n" + strings.Repeat("7 ", 600) + "\n",
+			Limits{MaxLineBytes: 64}, 2, "line exceeds 64 bytes"},
+		{"too many transactions", "1\n2\n3\n4\n",
+			Limits{MaxTransactions: 3}, 4, "transaction count exceeds limit 3"},
+		{"too many items", "1 2 3\n4 5 6\n7 8 9\n",
+			Limits{MaxTotalItems: 7}, 3, "total item count exceeds limit 7"},
+		{"duplicates count pre-dedup", "5 5 5 5\n",
+			Limits{MaxTotalItems: 3}, 1, "total item count exceeds limit 3"},
+	}
+	for _, c := range cases {
+		_, err := ReadFIMILimits(c.name, strings.NewReader(c.in), c.lim)
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: error %v (%T) is not a *ParseError", c.name, err, err)
+			continue
+		}
+		if pe.Line != c.line || pe.Msg != c.msg || pe.Token != "" {
+			t.Errorf("%s: got line %d msg %q token %q, want line %d msg %q empty token",
+				c.name, pe.Line, pe.Msg, pe.Token, c.line, c.msg)
+		}
+	}
+
+	// Inside the limits: identical to the unlimited reader.
+	in := "3 1 2\n9 8\n"
+	lim := Limits{MaxLineBytes: 64, MaxTransactions: 10, MaxTotalItems: 10}
+	got, err := ReadFIMILimits("ok", strings.NewReader(in), lim)
+	if err != nil {
+		t.Fatalf("in-limits input rejected: %v", err)
+	}
+	want, _ := ReadFIMI("ok", strings.NewReader(in))
+	if got.NumTransactions() != want.NumTransactions() {
+		t.Fatalf("limited reader changed the parse: %d vs %d transactions",
+			got.NumTransactions(), want.NumTransactions())
+	}
+	for i := range want.Transactions {
+		if !got.Transactions[i].Equal(want.Transactions[i]) {
+			t.Fatalf("limited reader changed transaction %d", i)
+		}
+	}
+}
+
+// TestReadFIMILimitsBlankAndOversizeEdge: blank lines do not count
+// against MaxTransactions, and a line exactly at MaxLineBytes passes.
+func TestReadFIMILimitsBlankAndOversizeEdge(t *testing.T) {
+	db, err := ReadFIMILimits("edge", strings.NewReader("\n\n1\n\n2\n"), Limits{MaxTransactions: 2})
+	if err != nil || db.NumTransactions() != 2 {
+		t.Fatalf("blank lines charged against MaxTransactions: db=%v err=%v", db, err)
+	}
+	exact := strings.Repeat("1", 8) // 8-byte line
+	if _, err := ReadFIMILimits("edge", strings.NewReader(exact+"\n"), Limits{MaxLineBytes: 8}); err != nil {
+		t.Fatalf("line exactly at MaxLineBytes rejected: %v", err)
+	}
+	if _, err := ReadFIMILimits("edge", strings.NewReader(exact+"9\n"), Limits{MaxLineBytes: 8}); err == nil {
+		t.Fatal("line one byte over MaxLineBytes accepted")
+	}
+}
+
 func TestWriteReadRoundTrip(t *testing.T) {
 	db := sampleDB(t)
 	var buf bytes.Buffer

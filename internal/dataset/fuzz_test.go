@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -55,6 +56,54 @@ func FuzzReadFIMI(f *testing.F) {
 			if !back.Transactions[i].Equal(db.Transactions[i]) {
 				t.Fatalf("round trip changed transaction %d", i)
 			}
+		}
+	})
+}
+
+// FuzzReadFIMILimits checks the hardened reader never panics, never
+// accepts a database outside its limits, and fails limit breaches with
+// a typed *ParseError — the untrusted-upload contract the serving layer
+// depends on.
+func FuzzReadFIMILimits(f *testing.F) {
+	// Seeds around each limit boundary.
+	f.Add("1 2 3\n4 5\n", 32, 4, int64(8))
+	f.Add(strings.Repeat("7 ", 40)+"\n", 16, 0, int64(0))              // line over MaxLineBytes
+	f.Add("1\n2\n3\n4\n5\n", 0, 3, int64(0))                           // transactions over limit
+	f.Add("1 2 3 4 5 6 7 8 9 10\n", 0, 0, int64(5))                    // items over limit
+	f.Add("5 5 5 5\n", 0, 0, int64(3))                                 // dedup must not evade the item cap
+	f.Add("11111111\n", 8, 0, int64(0))                                // line exactly at the cap
+	f.Add("\n\n\n9\n", 4, 1, int64(1))                                 // blank lines are free
+	f.Add("4294967295 0\n-1\n", 64, 8, int64(16))                      // parse error under limits
+	f.Add(strings.Repeat("1\n", 100), 0, 99, int64(0))                 // one past MaxTransactions
+	f.Add("1 2\n"+strings.Repeat("3 ", 1000)+"\n", 1024, 10, int64(3)) // item cap binds before line cap
+	f.Fuzz(func(t *testing.T, input string, maxLine, maxTrans int, maxItems int64) {
+		// Keep limits in a sane range so the fuzzer explores behaviour,
+		// not int overflow of the limits themselves.
+		if maxLine < 0 || maxTrans < 0 || maxItems < 0 {
+			return
+		}
+		lim := Limits{MaxLineBytes: maxLine, MaxTransactions: maxTrans, MaxTotalItems: maxItems}
+		db, err := ReadFIMILimits("fuzz", strings.NewReader(input), lim)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) && strings.Contains(err.Error(), "exceeds") {
+				t.Fatalf("limit breach not a *ParseError: %v", err)
+			}
+			return
+		}
+		// Accepted: the database must actually be inside the limits.
+		if maxTrans > 0 && db.NumTransactions() > maxTrans {
+			t.Fatalf("accepted %d transactions over limit %d", db.NumTransactions(), maxTrans)
+		}
+		var items int64
+		for _, tr := range db.Transactions {
+			if maxLine > 0 && len(tr)*2-1 > maxLine+1 {
+				t.Fatalf("accepted a transaction longer than any legal line")
+			}
+			items += int64(len(tr))
+		}
+		if maxItems > 0 && items > maxItems {
+			t.Fatalf("accepted %d items over limit %d", items, maxItems)
 		}
 	})
 }

@@ -12,10 +12,13 @@
 // kernels derive their step counts from loop indices they already
 // maintain, so the disabled path adds no work inside the merge loops.
 // Enable/Disable nest by reference count; counters are process-global,
-// so concurrent instrumented runs see each other's operations (the
-// engine snapshots around a run and reports the delta, which is exact
-// only when one instrumented run is active — the common case for
-// fimmine/fimbench).
+// so concurrent instrumented runs see each other's operations. Per-run
+// reporting goes through BeginRun/RunToken.End, which detects any
+// overlap with another instrumented run: the engine reports the
+// delta only when it is exclusively attributable to the run (always the
+// case for one-shot fimmine/fimbench; under the concurrent server,
+// overlapping runs drop the kernel_counters event rather than report
+// interleaved numbers).
 package kcount
 
 import "sync/atomic"
@@ -86,12 +89,12 @@ type Stats struct {
 // Sub returns s − prev, field-wise.
 func (s Stats) Sub(prev Stats) Stats {
 	d := Stats{
-		TidsCompared:    s.TidsCompared - prev.TidsCompared,
-		MergePicks:      s.MergePicks - prev.MergePicks,
-		GallopPicks:     s.GallopPicks - prev.GallopPicks,
-		GallopProbes:    s.GallopProbes - prev.GallopProbes,
-		WordsANDed:      s.WordsANDed - prev.WordsANDed,
-		WordsPopcounted: s.WordsPopcounted - prev.WordsPopcounted,
+		TidsCompared:     s.TidsCompared - prev.TidsCompared,
+		MergePicks:       s.MergePicks - prev.MergePicks,
+		GallopPicks:      s.GallopPicks - prev.GallopPicks,
+		GallopProbes:     s.GallopProbes - prev.GallopProbes,
+		WordsANDed:       s.WordsANDed - prev.WordsANDed,
+		WordsPopcounted:  s.WordsPopcounted - prev.WordsPopcounted,
 		HybridFlips:      s.HybridFlips - prev.HybridFlips,
 		ArenaHits:        s.ArenaHits - prev.ArenaHits,
 		ArenaMisses:      s.ArenaMisses - prev.ArenaMisses,
@@ -159,11 +162,52 @@ var (
 	// refs gates the whole package: the kernels check Enabled() (one
 	// atomic load) before touching any counter.
 	refs atomic.Int32
+	// overlapGen increments every time an instrumented run begins while
+	// another is already active. A RunToken compares the generation at
+	// its begin and end: if it moved (or the run itself began second),
+	// the token's delta mixes operations from several runs.
+	overlapGen atomic.Int64
 )
 
 // Enable turns counting on. Calls nest; each must be paired with
 // Disable.
 func Enable() { refs.Add(1) }
+
+// RunToken scopes the counters to one instrumented run: BeginRun
+// snapshots the totals and enables counting, End returns the delta and
+// whether it is exclusively attributable to this run. Because the
+// counters are process-global, two overlapping instrumented runs
+// interleave their operations; the token detects any overlap during its
+// lifetime instead of silently reporting corrupt per-run numbers.
+type RunToken struct {
+	base Stats
+	gen  int64
+	solo bool
+}
+
+// BeginRun enables counting for one run and returns its token. Must be
+// paired with End.
+func BeginRun() RunToken {
+	n := refs.Add(1)
+	if n > 1 {
+		// This run overlaps an already-active one: poison both sides'
+		// exclusivity (the earlier run sees the generation move).
+		overlapGen.Add(1)
+	}
+	return RunToken{base: Snapshot(), gen: overlapGen.Load(), solo: n == 1}
+}
+
+// End disables this run's counting and returns the counter delta since
+// BeginRun. exclusive is true only when no other instrumented run was
+// active at any point in between — the delta then attributes exactly
+// this run's kernel operations. Callers reporting per-run counters
+// should drop (or mark shared) a non-exclusive delta.
+func (t RunToken) End() (delta Stats, exclusive bool) {
+	s := Snapshot()
+	exclusive = t.solo && overlapGen.Load() == t.gen
+	Disable()
+	return s.Sub(t.base), exclusive
+}
 
 // Disable undoes one Enable. An unpaired Disable panics, with the
 // count restored first so one caller's bug cannot wedge counting off

@@ -88,6 +88,56 @@ func TestUnpairedDisablePanics(t *testing.T) {
 	Disable()
 }
 
+// TestRunTokenExclusive: a lone instrumented run gets an exclusive
+// delta attributing exactly its own operations.
+func TestRunTokenExclusive(t *testing.T) {
+	tok := BeginRun()
+	AddMergeSteps(7)
+	AddWordsANDed(3)
+	d, excl := tok.End()
+	if !excl {
+		t.Fatal("lone run's delta not exclusive")
+	}
+	if d.TidsCompared != 7 || d.WordsANDed != 3 {
+		t.Fatalf("delta = %+v, want 7 tids / 3 words", d)
+	}
+	if Enabled() {
+		t.Fatal("counters still enabled after End")
+	}
+}
+
+// TestRunTokenOverlapPoisonsBoth: two overlapping instrumented runs
+// both report non-exclusive deltas, whichever started first.
+func TestRunTokenOverlapPoisonsBoth(t *testing.T) {
+	a := BeginRun()
+	AddMergeSteps(1)
+	b := BeginRun() // overlaps a
+	AddMergeSteps(1)
+	if _, excl := b.End(); excl {
+		t.Error("second (overlapping) run claims exclusivity")
+	}
+	if _, excl := a.End(); excl {
+		t.Error("first run claims exclusivity despite overlap")
+	}
+	// A fresh run after both ended is exclusive again.
+	c := BeginRun()
+	AddMergeSteps(1)
+	if _, excl := c.End(); !excl {
+		t.Error("fresh run after overlap not exclusive")
+	}
+}
+
+// TestRunTokenOverlapEnded: exclusivity is poisoned even when the
+// overlapping run ends before the first run does.
+func TestRunTokenOverlapEnded(t *testing.T) {
+	a := BeginRun()
+	b := BeginRun()
+	b.End()
+	if _, excl := a.End(); excl {
+		t.Error("run overlapped by a shorter run claims exclusivity")
+	}
+}
+
 // TestConcurrentAdds: parallel kernels may add while another goroutine
 // snapshots; run with -race this verifies the atomics.
 func TestConcurrentAdds(t *testing.T) {

@@ -1,0 +1,182 @@
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// EncodeSSE writes one event as a Server-Sent-Events frame: an `event:`
+// line carrying the event type and a `data:` line carrying the event's
+// JSON encoding (the same object the JSON-lines sink writes, so a
+// client that strips the framing can feed the stream straight into the
+// obsvalidate event checker).
+func EncodeSSE(w io.Writer, e obs.Event) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data)
+	return err
+}
+
+// DefaultBroadcastCap bounds how many events a Broadcast retains for
+// replay to late subscribers. A mining run's stream is small (levels,
+// phases, control-plane events), so the cap exists only to bound a
+// pathological run's memory.
+const DefaultBroadcastCap = 8192
+
+// Broadcast is an Observer that retains the run's events for replay and
+// fans them out live to any number of SSE subscribers. Late subscribers
+// first receive everything retained so far, then the live tail, so a
+// client attaching mid-run still sees a stream that starts with
+// run_start. It is safe for concurrent use and never blocks the mining
+// run: a subscriber that stops draining its channel loses events (its
+// drop count is the subscriber's problem, not the miner's).
+type Broadcast struct {
+	mu      sync.Mutex
+	events  []obs.Event
+	dropped int
+	subs    map[chan obs.Event]struct{}
+	closed  bool
+	cap     int
+}
+
+// NewBroadcast returns an empty hub retaining up to capEvents events
+// (<= 0 means DefaultBroadcastCap).
+func NewBroadcast(capEvents int) *Broadcast {
+	if capEvents <= 0 {
+		capEvents = DefaultBroadcastCap
+	}
+	return &Broadcast{subs: make(map[chan obs.Event]struct{}), cap: capEvents}
+}
+
+// Event stamps, retains and fans out e. When retention is full the
+// oldest event after run_start is evicted, so a replayed stream keeps
+// its opening frame; Dropped reports how many were evicted.
+func (b *Broadcast) Event(e obs.Event) {
+	e.TimeUnixNS = time.Now().UnixNano()
+	b.mu.Lock()
+	if !b.closed {
+		if len(b.events) >= b.cap {
+			// Evict the second event: position 0 is run_start, which
+			// replay must keep so late subscribers see a well-formed
+			// stream opening.
+			b.events = append(b.events[:1], b.events[2:]...)
+			b.dropped++
+		}
+		b.events = append(b.events, e)
+	}
+	for ch := range b.subs {
+		select {
+		case ch <- e:
+		default:
+			// Slow subscriber: drop rather than stall the mining run.
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Subscribe returns the retained replay so far and a channel carrying
+// the live tail (buffered at buf, <= 0 means 256). cancel detaches the
+// subscriber and closes the channel; it is safe to call more than once.
+func (b *Broadcast) Subscribe(buf int) (replay []obs.Event, ch <-chan obs.Event, cancel func()) {
+	if buf <= 0 {
+		buf = 256
+	}
+	c := make(chan obs.Event, buf)
+	b.mu.Lock()
+	replay = append([]obs.Event(nil), b.events...)
+	closed := b.closed
+	if !closed {
+		b.subs[c] = struct{}{}
+	}
+	b.mu.Unlock()
+	if closed {
+		close(c)
+		return replay, c, func() {}
+	}
+	cancel = func() {
+		// Whoever removes the channel from the map closes it — exactly
+		// one of cancel and CloseStream wins, so no double close.
+		b.mu.Lock()
+		_, live := b.subs[c]
+		delete(b.subs, c)
+		b.mu.Unlock()
+		if live {
+			close(c)
+		}
+	}
+	return replay, c, cancel
+}
+
+// CloseStream marks the run over: live subscriber channels are closed
+// (after the events already sent drain) and future subscribers get the
+// retained replay with an immediately closed tail. Call once, after the
+// run's run_end event has been delivered.
+func (b *Broadcast) CloseStream() {
+	b.mu.Lock()
+	subs := b.subs
+	b.subs = make(map[chan obs.Event]struct{})
+	b.closed = true
+	b.mu.Unlock()
+	for ch := range subs {
+		close(ch)
+	}
+}
+
+// Events returns a copy of the retained stream.
+func (b *Broadcast) Events() []obs.Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]obs.Event(nil), b.events...)
+}
+
+// Dropped reports how many retained events were evicted by the cap.
+func (b *Broadcast) Dropped() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// ServeSSE streams a Broadcast over one HTTP response as Server-Sent
+// Events: the retained replay first, then the live tail until the run
+// ends (CloseStream) or the client disconnects. It sets the SSE headers
+// and flushes after every frame.
+func ServeSSE(w http.ResponseWriter, r *http.Request, b *Broadcast) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	replay, live, cancel := b.Subscribe(0)
+	defer cancel()
+	for _, e := range replay {
+		if err := EncodeSSE(w, e); err != nil {
+			return
+		}
+	}
+	fl.Flush()
+	for {
+		select {
+		case e, ok := <-live:
+			if !ok {
+				return
+			}
+			if err := EncodeSSE(w, e); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package export
+
+import (
+	"bufio"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// sseDataLines strips SSE framing back to the JSON payload lines.
+func sseDataLines(t *testing.T, body string) []string {
+	t.Helper()
+	var out []string
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "data: "); ok {
+			out = append(out, rest)
+		}
+	}
+	return out
+}
+
+// TestEncodeSSEFrame: one event renders as an event/data frame whose
+// data line is the event's JSON encoding.
+func TestEncodeSSEFrame(t *testing.T) {
+	var sb strings.Builder
+	if err := EncodeSSE(&sb, obs.Event{Type: obs.RunStart, Dataset: "chess"}); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.HasPrefix(got, "event: run_start\ndata: {") || !strings.HasSuffix(got, "}\n\n") {
+		t.Fatalf("frame = %q", got)
+	}
+	if !strings.Contains(got, `"dataset":"chess"`) {
+		t.Fatalf("data payload missing fields: %q", got)
+	}
+}
+
+// TestBroadcastReplayAndLive: a late subscriber receives the retained
+// replay plus the live tail, in order, and the stream round-trips
+// through the event validator.
+func TestBroadcastReplayAndLive(t *testing.T) {
+	b := NewBroadcast(0)
+	b.Event(obs.Event{Type: obs.RunStart})
+	b.Event(obs.Event{Type: obs.LevelStart, Phase: "gen2"})
+
+	replay, live, cancel := b.Subscribe(8)
+	defer cancel()
+	if len(replay) != 2 || replay[0].Type != obs.RunStart {
+		t.Fatalf("replay = %+v", replay)
+	}
+
+	b.Event(obs.Event{Type: obs.LevelEnd, Phase: "gen2"})
+	b.Event(obs.Event{Type: obs.RunEnd})
+	b.CloseStream()
+
+	var tail []obs.Event
+	for e := range live {
+		tail = append(tail, e)
+	}
+	all := append(replay, tail...)
+	if err := ValidateEvents(all); err != nil {
+		t.Fatalf("replayed+live stream invalid: %v", err)
+	}
+	if all[len(all)-1].Type != obs.RunEnd {
+		t.Fatalf("stream does not end with run_end: %+v", all)
+	}
+}
+
+// TestBroadcastSubscribeAfterClose: subscribing after the run ended
+// yields the full replay and an already-closed tail.
+func TestBroadcastSubscribeAfterClose(t *testing.T) {
+	b := NewBroadcast(0)
+	b.Event(obs.Event{Type: obs.RunStart})
+	b.Event(obs.Event{Type: obs.RunEnd})
+	b.CloseStream()
+	replay, live, cancel := b.Subscribe(1)
+	defer cancel()
+	if len(replay) != 2 {
+		t.Fatalf("post-close replay has %d events", len(replay))
+	}
+	if _, ok := <-live; ok {
+		t.Fatal("post-close tail channel not closed")
+	}
+}
+
+// TestBroadcastCapKeepsRunStart: overflowing the retention cap evicts
+// middle events but never the opening run_start.
+func TestBroadcastCapKeepsRunStart(t *testing.T) {
+	b := NewBroadcast(4)
+	b.Event(obs.Event{Type: obs.RunStart})
+	for i := 0; i < 10; i++ {
+		b.Event(obs.Event{Type: obs.PhaseEnd, Phase: "p"})
+	}
+	ev := b.Events()
+	if len(ev) != 4 {
+		t.Fatalf("retained %d events, cap 4", len(ev))
+	}
+	if ev[0].Type != obs.RunStart {
+		t.Fatalf("run_start evicted; head is %v", ev[0].Type)
+	}
+	if b.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", b.Dropped())
+	}
+}
+
+// TestBroadcastConcurrent: hammer publish/subscribe/cancel/close under
+// -race; no panics, no deadlocks, no double closes.
+func TestBroadcastConcurrent(t *testing.T) {
+	b := NewBroadcast(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b.Event(obs.Event{Type: obs.PhaseEnd})
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_, live, cancel := b.Subscribe(4)
+				select {
+				case <-live: // an event, if one lands in time
+				default:
+				}
+				cancel()
+				cancel() // idempotent
+			}
+		}()
+	}
+	wg.Wait()
+	b.CloseStream()
+	b.Event(obs.Event{Type: obs.PhaseEnd}) // post-close publish is a no-op
+}
+
+// TestServeSSE: the HTTP handler emits well-formed frames whose data
+// lines decode back into the original stream.
+func TestServeSSE(t *testing.T) {
+	b := NewBroadcast(0)
+	b.Event(obs.Event{Type: obs.RunStart, Dataset: "t"})
+	b.Event(obs.Event{Type: obs.RunEnd})
+	b.CloseStream()
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/events", nil)
+	ServeSSE(rec, req, b)
+
+	if ct := rec.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	lines := sseDataLines(t, rec.Body.String())
+	if len(lines) != 2 {
+		t.Fatalf("got %d data lines: %q", len(lines), rec.Body.String())
+	}
+	events, err := DecodeLines(strings.NewReader(strings.Join(lines, "\n")))
+	if err != nil {
+		t.Fatalf("decoding data lines: %v", err)
+	}
+	if err := ValidateEvents(events); err != nil {
+		t.Fatalf("SSE-decoded stream invalid: %v", err)
+	}
+}

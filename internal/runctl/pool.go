@@ -1,0 +1,129 @@
+// Shared-capacity accounting: a Pool is one machine-wide live-payload
+// byte budget that several concurrent runs draw from. Each run keeps its
+// own Control (per-run budget, cancellation, stop cause); attaching the
+// Control to a Pool makes every ChargeMem also move the run's delta
+// into the shared ledger, so the sum of all live payloads — not just
+// any single run's — is what the breach check sees. This is the
+// admission-control primitive the serving layer builds on: per-request
+// budgets bound the tenant, the Pool bounds the machine.
+package runctl
+
+import "sync/atomic"
+
+// Pool is a shared live-payload byte budget across concurrent runs.
+// The zero Pool is unusable; construct with NewPool. A nil *Pool is
+// valid everywhere and disables shared accounting.
+type Pool struct {
+	capBytes int64
+	used     atomic.Int64
+	peak     atomic.Int64
+}
+
+// NewPool returns a shared budget of capBytes live payload bytes across
+// all attached runs. capBytes <= 0 means "track but never breach" —
+// useful for pressure probes without a hard cap.
+func NewPool(capBytes int64) *Pool {
+	return &Pool{capBytes: capBytes}
+}
+
+// Cap returns the pool's byte capacity (0 = uncapped).
+func (p *Pool) Cap() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.capBytes
+}
+
+// Used returns the live payload bytes currently accounted across all
+// attached runs.
+func (p *Pool) Used() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.used.Load()
+}
+
+// Peak returns the high-water mark of shared accounted bytes.
+func (p *Pool) Peak() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.peak.Load()
+}
+
+// Fraction returns Used/Cap, or 0 for a nil or uncapped pool — the
+// serving layer's memory-pressure probe.
+func (p *Pool) Fraction() float64 {
+	if p == nil || p.capBytes <= 0 {
+		return 0
+	}
+	return float64(p.used.Load()) / float64(p.capBytes)
+}
+
+// charge moves delta bytes into the shared ledger and returns the new
+// total, updating the peak on growth.
+func (p *Pool) charge(delta int64) int64 {
+	v := p.used.Add(delta)
+	if delta > 0 {
+		for {
+			pk := p.peak.Load()
+			if v <= pk || p.peak.CompareAndSwap(pk, v) {
+				break
+			}
+		}
+	}
+	return v
+}
+
+// over reports whether the pool is past its capacity.
+func (p *Pool) over() bool {
+	return p != nil && p.capBytes > 0 && p.used.Load() > p.capBytes
+}
+
+// AttachPool joins this run to a shared capacity pool: every ChargeMem
+// delta is mirrored into the pool, the chunk-boundary check (Err /
+// CheckMemory) also fails when the *pool* is over capacity (resource
+// "shared-memory"), and Close refunds whatever the run still holds.
+// Attaching implies TrackMemory. Call before mining starts; attaching
+// mid-run would leak the bytes charged before the attach.
+func (c *Control) AttachPool(p *Pool) {
+	if c == nil || p == nil {
+		return
+	}
+	c.pool = p
+	c.trackMem = true
+}
+
+// Pool returns the attached shared pool, or nil.
+func (c *Control) Pool() *Pool {
+	if c == nil {
+		return nil
+	}
+	return c.pool
+}
+
+// releasePool refunds the run's outstanding shared-pool bytes; called by
+// Close so a finished (or killed) run cannot pin shared capacity.
+func (c *Control) releasePool() {
+	if c.pool == nil {
+		return
+	}
+	if held := c.mem.Load(); held != 0 {
+		c.pool.charge(-held)
+	}
+	c.pool = nil
+}
+
+// checkPool stops the run with a shared-memory BudgetError when the
+// attached pool is over capacity. The run that observes the breach is
+// the one stopped — under concurrent runs that is whichever charged
+// last, which is the degrade-don't-die behaviour the server wants: one
+// victim, not a machine-wide OOM.
+func (c *Control) checkPool() error {
+	if c == nil || c.pool == nil || !c.pool.over() {
+		return nil
+	}
+	err := &BudgetError{Resource: "shared-memory", Limit: c.pool.Cap(), Used: c.pool.Used()}
+	c.Stop(err)
+	return c.Cause()
+}

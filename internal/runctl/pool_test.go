@@ -1,0 +1,108 @@
+package runctl
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestPoolSharedAccounting: two attached runs' charges sum in the pool,
+// and each run's own ledger stays per-run.
+func TestPoolSharedAccounting(t *testing.T) {
+	p := NewPool(1000)
+	a := New(context.Background(), Budget{})
+	b := New(context.Background(), Budget{})
+	a.AttachPool(p)
+	b.AttachPool(p)
+	a.ChargeMem(300)
+	b.ChargeMem(400)
+	if got := p.Used(); got != 700 {
+		t.Fatalf("pool used = %d, want 700", got)
+	}
+	if a.MemUsed() != 300 || b.MemUsed() != 400 {
+		t.Fatalf("per-run ledgers corrupted: a=%d b=%d", a.MemUsed(), b.MemUsed())
+	}
+	a.ChargeMem(-100)
+	if got := p.Used(); got != 600 {
+		t.Fatalf("pool used after release = %d, want 600", got)
+	}
+	if p.Peak() != 700 {
+		t.Fatalf("pool peak = %d, want 700", p.Peak())
+	}
+	a.Close()
+	b.Close()
+	if got := p.Used(); got != 0 {
+		t.Fatalf("pool not refunded on Close: used = %d", got)
+	}
+}
+
+// TestPoolBreachStopsChargingRun: the pool breach surfaces as a typed
+// shared-memory BudgetError at the chunk-boundary check of a run whose
+// own budget is fine.
+func TestPoolBreachStopsChargingRun(t *testing.T) {
+	p := NewPool(500)
+	a := New(context.Background(), Budget{})
+	b := New(context.Background(), Budget{MaxMemoryBytes: 1 << 30})
+	a.AttachPool(p)
+	b.AttachPool(p)
+	defer a.Close()
+	defer b.Close()
+	a.ChargeMem(400)
+	b.ChargeMem(200) // pool now 600 > 500; b's own budget untouched
+	err := b.Err()
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Resource != "shared-memory" {
+		t.Fatalf("Err() = %v, want shared-memory BudgetError", err)
+	}
+	if be.Used != 600 || be.Limit != 500 {
+		t.Fatalf("breach error carries used=%d limit=%d, want 600/500", be.Used, be.Limit)
+	}
+	// The other run also sees the breach at its next boundary check.
+	if err := a.Err(); err == nil {
+		t.Fatal("co-resident run passed its boundary check with the pool over capacity")
+	}
+}
+
+// TestPoolUncapped: capBytes <= 0 tracks but never breaches.
+func TestPoolUncapped(t *testing.T) {
+	p := NewPool(0)
+	c := New(context.Background(), Budget{})
+	c.AttachPool(p)
+	defer c.Close()
+	c.ChargeMem(1 << 40)
+	if err := c.Err(); err != nil {
+		t.Fatalf("uncapped pool breached: %v", err)
+	}
+	if p.Fraction() != 0 {
+		t.Fatalf("uncapped pool fraction = %v, want 0", p.Fraction())
+	}
+}
+
+// TestPoolConcurrentChargeRefund: hammer the shared ledger from many
+// runs under -race; the pool must return to zero after all Closes.
+func TestPoolConcurrentChargeRefund(t *testing.T) {
+	p := NewPool(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c := New(context.Background(), Budget{})
+				c.AttachPool(p)
+				c.ChargeMem(64)
+				c.ChargeMem(128)
+				c.ChargeMem(-64)
+				c.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.Used(); got != 0 {
+		t.Fatalf("pool used = %d after all runs closed, want 0", got)
+	}
+	if p.Peak() <= 0 {
+		t.Fatal("pool peak not recorded")
+	}
+}

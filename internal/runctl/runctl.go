@@ -109,6 +109,10 @@ type Control struct {
 
 	stopCtxWatch func() bool
 	timer        *time.Timer
+
+	// pool, when non-nil, is the shared capacity ledger this run's
+	// memory deltas are mirrored into (AttachPool).
+	pool *Pool
 }
 
 // New builds a Control for one run. ctx cancellation and the duration
@@ -139,6 +143,7 @@ func (c *Control) Close() {
 	if c.timer != nil {
 		c.timer.Stop()
 	}
+	c.releasePool()
 }
 
 // Budget returns the run's budget (zero value for a nil Control).
@@ -196,7 +201,7 @@ func (c *Control) Err() error {
 			return err
 		}
 	}
-	return nil
+	return c.checkPool()
 }
 
 // TrackMemory enables live-payload accounting (and peak tracking) even
@@ -250,6 +255,9 @@ func (c *Control) ChargeMem(delta int64) {
 		return
 	}
 	v := c.mem.Add(delta)
+	if c.pool != nil {
+		c.pool.charge(delta)
+	}
 	if delta <= 0 {
 		return
 	}

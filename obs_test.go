@@ -442,14 +442,15 @@ func TestStopReason(t *testing.T) {
 // list together.
 func TestStopReasonGoldenList(t *testing.T) {
 	golden := map[string]bool{
-		"":                true,
-		"worker-panic":    true,
-		"budget:memory":   true,
-		"budget:itemsets": true,
-		"budget:duration": true,
-		"canceled":        true,
-		"deadline":        true,
-		"error":           true,
+		"":                     true,
+		"worker-panic":         true,
+		"budget:memory":        true,
+		"budget:itemsets":      true,
+		"budget:duration":      true,
+		"budget:shared-memory": true,
+		"canceled":             true,
+		"deadline":             true,
+		"error":                true,
 	}
 	produced := []string{
 		StopReason(nil),
@@ -457,6 +458,7 @@ func TestStopReasonGoldenList(t *testing.T) {
 		StopReason(&BudgetError{Resource: "memory"}),
 		StopReason(&BudgetError{Resource: "itemsets"}),
 		StopReason(&BudgetError{Resource: "duration"}),
+		StopReason(&BudgetError{Resource: "shared-memory"}),
 		StopReason(context.Canceled),
 		StopReason(context.DeadlineExceeded),
 		StopReason(errors.New("disk on fire")),
