@@ -12,11 +12,16 @@
 //	GET  /runs/{id}       one run's record
 //	GET  /runs/{id}/events   the run's event stream as SSE
 //	GET  /healthz /readyz /stats
+//	GET  /metrics         Prometheus text exposition (admission, cache,
+//	                      queue/run/request histograms, pool, kernel
+//	                      roll-ups, SLO burn state)
+//	GET  /debug/flight    the flight recorder's last-runs dump
 //
 // Requests carry a tenant in the X-Tenant header ("anon" if absent).
 // On SIGTERM/SIGINT the daemon stops admitting, drains in-flight runs
 // (budget-stopping stragglers after the grace period), optionally
-// writes a shutdown report, and exits 0.
+// writes a shutdown report and the flight-recorder dump (-flight), and
+// exits 0.
 package main
 
 import (
@@ -49,6 +54,8 @@ func main() {
 		cacheMB     = flag.Int64("cache-mb", 64, "result cache budget (MiB, -1 disables)")
 		drainGrace  = flag.Duration("drain-grace", 10*time.Second, "how long drain lets runs finish before stopping them")
 		report      = flag.String("report", "", "write a JSON shutdown report (stats + recent runs) to this file on exit")
+		flight      = flag.String("flight", "", "write the flight-recorder dump (fimserve-flight/v1) to this file on drain, and <file>.panic on a worker panic")
+		tenantCard  = flag.Int("tenant-series", 32, "distinct tenant label values in /metrics before folding into \"other\"")
 	)
 	flag.Parse()
 
@@ -66,6 +73,8 @@ func main() {
 		MaxRunDuration: *runTimeout,
 		CacheBytes:     cacheBytes,
 		DrainGrace:     *drainGrace,
+		TenantSeries:   *tenantCard,
+		FlightPath:     *flight,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -105,6 +114,9 @@ func main() {
 			os.Exit(1)
 		}
 		log.Printf("fimserve: report written to %s", *report)
+	}
+	if *flight != "" {
+		log.Printf("fimserve: flight dump written to %s", *flight)
 	}
 	log.Printf("fimserve: drained, exiting")
 }

@@ -201,6 +201,12 @@ type Options struct {
 	// budgets. Empty means {0.5, 0.8, 0.95}. Only consulted when
 	// Observer is set and the corresponding budget is non-zero.
 	BudgetWarnAt []float64
+	// RunID, when non-zero, is a run correlation identifier stamped onto
+	// every event the run emits (and therefore onto SSE streams and run
+	// reports built from them). The serving layer sets it to the run's
+	// registry ID so /metrics anomalies, flight-recorder entries, traces
+	// and reports join on one key.
+	RunID int64
 	// SpanTrace, when non-nil, records the run's span timeline: the run
 	// and every level/class stage on a coordinator row, every scheduler
 	// chunk on its worker's row, with real start times and durations.
@@ -345,6 +351,9 @@ func MineAbsoluteContext(ctx context.Context, db *DB, minSupport int, opt Option
 	o := opt.Observer
 	if opt.SpanTrace != nil {
 		o = obs.Multi(o, opt.SpanTrace)
+	}
+	if opt.RunID != 0 {
+		o = obs.WithRunID(o, opt.RunID)
 	}
 	var ktok kcount.RunToken
 	kdone := false

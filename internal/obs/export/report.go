@@ -74,6 +74,12 @@ type StopInfo struct {
 type Report struct {
 	Schema string `json:"schema"`
 
+	// RunID is the run correlation identifier carried by the event
+	// stream (obs.Event.RunID), present when the run was served under an
+	// external identity — it joins this report to the service's
+	// /metrics, flight-recorder and SSE views of the same run.
+	RunID int64 `json:"run_id,omitempty"`
+
 	// Run configuration (from run_start).
 	Dataset        string `json:"dataset,omitempty"`
 	Algorithm      string `json:"algorithm"`
@@ -140,6 +146,9 @@ func NewReportBuilder() *ReportBuilder {
 func (b *ReportBuilder) Event(e obs.Event) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.r.RunID == 0 && e.RunID != 0 {
+		b.r.RunID = e.RunID
+	}
 	switch e.Type {
 	case obs.RunStart:
 		b.r.Dataset = e.Dataset

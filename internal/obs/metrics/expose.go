@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Content-Type of the Prometheus text exposition
+// format v0.0.4, which WriteText renders.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders the registry in Prometheus text exposition format
+// v0.0.4: families sorted by name, each with its # HELP and # TYPE
+// lines followed by its series sorted by label tuple; histograms render
+// cumulative le buckets plus _sum and _count. The output is byte-stable
+// for a fixed registry state.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.families() {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		if f.fn != nil {
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(formatFloat(f.fn()))
+			bw.WriteByte('\n')
+			continue
+		}
+		for _, c := range f.snapshotChildren() {
+			switch f.kind {
+			case kindCounter:
+				writeSample(bw, f.name, "", f.labels, c.values, "", formatInt(c.c.Value()))
+			case kindGauge:
+				writeSample(bw, f.name, "", f.labels, c.values, "", formatInt(c.g.Value()))
+			case kindHistogram:
+				cum, total := c.h.cumulative()
+				for i, b := range f.buckets {
+					writeSample(bw, f.name, "_bucket", f.labels, c.values, formatFloat(b), formatInt(cum[i]))
+				}
+				writeSample(bw, f.name, "_bucket", f.labels, c.values, "+Inf", formatInt(total))
+				writeSample(bw, f.name, "_sum", f.labels, c.values, "", formatFloat(c.h.Sum()))
+				writeSample(bw, f.name, "_count", f.labels, c.values, "", formatInt(total))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one sample line: name+suffix, the label pairs (plus
+// le when non-empty), and the value.
+func writeSample(bw *bufio.Writer, name, suffix string, labels, values []string, le, val string) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if len(labels) > 0 || le != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(values[i]))
+			bw.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(`le="`)
+			bw.WriteString(le)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(val)
+	bw.WriteByte('\n')
+}
+
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// Handler returns an http.Handler serving the exposition — the
+// GET /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", TextContentType)
+		_ = r.WriteText(w)
+	})
+}

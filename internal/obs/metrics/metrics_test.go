@@ -1,0 +1,331 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentExactSums: a worker fleet hammering counters, gauges
+// and a histogram concurrently loses nothing — the totals are exact.
+// Run under -race this is also the registry's data-race proof.
+func TestConcurrentExactSums(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "ops")
+	cv := r.CounterVec("byk_total", "by k", "k")
+	g := r.Gauge("live", "live")
+	h := r.Histogram("lat_seconds", "lat", []float64{0.5, 1, 2})
+
+	const workers = 16
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			k := fmt.Sprintf("k%d", w%4)
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				cv.With(k).Add(2)
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%4) + 0.25) // 0.25, 1.25, 2.25, 3.25
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	var vecSum int64
+	for i := 0; i < 4; i++ {
+		vecSum += cv.With(fmt.Sprintf("k%d", i)).Value()
+	}
+	if want := int64(workers * perWorker * 2); vecSum != want {
+		t.Fatalf("vec sum = %d, want %d", vecSum, want)
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	cum, total := h.cumulative()
+	// Observations cycle evenly over {0.25, 1.25, 2.25, 3.25}: one
+	// quarter lands at or under each bound 0.5 / 1 / 2, the rest in +Inf.
+	q := int64(workers * perWorker / 4)
+	if cum[0] != q || cum[1] != q || cum[2] != 2*q || total != 4*q {
+		t.Fatalf("cumulative = %v total %d, want [%d %d %d] %d", cum, total, q, q, 2*q, 4*q)
+	}
+	wantSum := float64(workers*perWorker/4) * (0.25 + 1.25 + 2.25 + 3.25)
+	if got := h.Sum(); got < wantSum-0.01 || got > wantSum+0.01 {
+		t.Fatalf("histogram sum = %g, want %g", got, wantSum)
+	}
+}
+
+// TestCardinalityFold: past the series cap, new tuples fold into the
+// "other" series deterministically — on the designated label when one
+// is set, on every label otherwise.
+func TestCardinalityFold(t *testing.T) {
+	r := NewRegistry()
+	r.SetSeriesCap(3)
+	cv := r.CounterVec("tenant_total", "per tenant", "tenant", "outcome").Fold("tenant")
+
+	cv.With("a", "ok").Inc()
+	cv.With("b", "ok").Inc()
+	cv.With("c", "ok").Inc()
+	// Cap reached: every later tenant folds into tenant="other", keeping
+	// its own outcome value.
+	cv.With("d", "ok").Inc()
+	cv.With("e", "ok").Inc()
+	cv.With("f", "shed").Inc()
+
+	if got := cv.With("d", "ok").Value(); got != 2 {
+		t.Fatalf("folded {other,ok} = %d, want 2 (d and e)", got)
+	}
+	if got := cv.With("zzz", "shed").Value(); got != 1 {
+		t.Fatalf("folded {other,shed} = %d, want 1 (f)", got)
+	}
+	if got := cv.With("a", "ok").Value(); got != 1 {
+		t.Fatalf("pre-cap series {a,ok} = %d, want 1", got)
+	}
+	// The fold is visible in the exposition as the literal label value.
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `tenant_total{tenant="other",outcome="ok"} 2`) {
+		t.Fatalf("exposition missing folded series:\n%s", buf.String())
+	}
+
+	// Concurrent folding is deterministic too: hammer one past-cap
+	// tenant from many goroutines; everything lands in the same series.
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				cv.With(fmt.Sprintf("hot%d", w), "ok").Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := cv.With("whatever", "ok").Value(); got != 2+8*1000 {
+		t.Fatalf("folded {other,ok} after hammer = %d, want %d", got, 2+8*1000)
+	}
+}
+
+// TestFoldAllLabels: without a designated fold label every label of an
+// overflow tuple becomes "other".
+func TestFoldAllLabels(t *testing.T) {
+	r := NewRegistry()
+	r.SetSeriesCap(1)
+	cv := r.CounterVec("x_total", "x", "a", "b")
+	cv.With("1", "1").Inc()
+	cv.With("2", "2").Inc()
+	cv.With("3", "3").Inc()
+	if got := cv.With("other", "other").Value(); got != 2 {
+		t.Fatalf("fold-all overflow = %d, want 2", got)
+	}
+}
+
+// TestExpositionByteStable: rendering a fixed state twice produces
+// identical bytes, and the output matches the format exactly.
+func TestExpositionByteStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "counts a").Add(7)
+	r.Gauge("b_bytes", "gauge b").Set(42)
+	cv := r.CounterVec("c_total", "labeled", "op")
+	cv.With("x").Add(3)
+	cv.With("y").Inc()
+	h := r.Histogram("d_seconds", "hist", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(9)
+	r.GaugeFunc("e_live", "func gauge", func() float64 { return 1.5 })
+
+	var b1, b2 bytes.Buffer
+	if err := r.WriteText(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("two renders of a fixed state differ:\n%s\n----\n%s", b1.String(), b2.String())
+	}
+
+	want := `# HELP a_total counts a
+# TYPE a_total counter
+a_total 7
+# HELP b_bytes gauge b
+# TYPE b_bytes gauge
+b_bytes 42
+# HELP c_total labeled
+# TYPE c_total counter
+c_total{op="x"} 3
+c_total{op="y"} 1
+# HELP d_seconds hist
+# TYPE d_seconds histogram
+d_seconds_bucket{le="0.5"} 1
+d_seconds_bucket{le="1"} 2
+d_seconds_bucket{le="+Inf"} 3
+d_seconds_sum 10
+d_seconds_count 3
+# HELP e_live func gauge
+# TYPE e_live gauge
+e_live 1.5
+`
+	if b1.String() != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", b1.String(), want)
+	}
+}
+
+// TestParseRoundTrip: the parser accepts and faithfully reconstructs
+// the renderer's output, and the result validates.
+func TestParseRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Add(5)
+	cv := r.CounterVec("t_total", "t", "tenant")
+	cv.With("alice").Add(2)
+	cv.With(`we"ird\`).Inc()
+	h := r.Histogram("lat_seconds", "lat", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(5)
+	r.GaugeFunc("g", "g", func() float64 { return -3.25 })
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, buf.String())
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if sc.Types["lat_seconds"] != "histogram" || sc.Types["a_total"] != "counter" {
+		t.Fatalf("types = %v", sc.Types)
+	}
+	if v := sc.Values[`a_total`]; v != 5 {
+		t.Fatalf("a_total = %g", v)
+	}
+	if v := sc.Values[`t_total{tenant="alice"}`]; v != 2 {
+		t.Fatalf("t_total{alice} = %g (have %v)", v, sc.Values)
+	}
+	found := false
+	for _, sm := range sc.Series {
+		if sm.Labels["tenant"] == `we"ird\` {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("escaped label value did not round-trip: %v", sc.Values)
+	}
+	if v := sc.Values["g"]; v != -3.25 {
+		t.Fatalf("gauge func = %g", v)
+	}
+	if v := sc.Values[`lat_seconds_bucket{le="+Inf"}`]; v != 2 {
+		t.Fatalf("+Inf bucket = %g", v)
+	}
+}
+
+// TestCheckMonotonic: a counter that goes backwards between scrapes is
+// an error; gauges may move freely.
+func TestCheckMonotonic(t *testing.T) {
+	scrape := func(c int64, g int64) *Scrape {
+		r := NewRegistry()
+		r.Counter("a_total", "a").Add(c)
+		r.Gauge("b", "b").Set(g)
+		var buf bytes.Buffer
+		if err := r.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		sc, err := ParseText(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
+	if err := CheckMonotonic(scrape(3, 9), scrape(5, 1)); err != nil {
+		t.Fatalf("monotonic pair rejected: %v", err)
+	}
+	if err := CheckMonotonic(scrape(5, 1), scrape(3, 9)); err == nil {
+		t.Fatal("backwards counter accepted")
+	}
+}
+
+// TestValidateCatchesCorruptHistogram: hand-corrupted exposition fails
+// bucket/count consistency.
+func TestValidateCatchesCorruptHistogram(t *testing.T) {
+	const good = `# TYPE h_seconds histogram
+h_seconds_bucket{le="1"} 2
+h_seconds_bucket{le="+Inf"} 3
+h_seconds_sum 4.5
+h_seconds_count 3
+`
+	sc, err := ParseText(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("good histogram rejected: %v", err)
+	}
+
+	for name, corrupt := range map[string]string{
+		"count mismatch": strings.Replace(good, "h_seconds_count 3", "h_seconds_count 4", 1),
+		"non-cumulative": strings.Replace(good, `h_seconds_bucket{le="+Inf"} 3`, `h_seconds_bucket{le="+Inf"} 1`, 1),
+		"missing sum":    strings.Replace(good, "h_seconds_sum 4.5\n", "", 1),
+	} {
+		sc, err := ParseText(strings.NewReader(corrupt))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		if err := sc.Validate(); err == nil {
+			t.Fatalf("%s: corrupt histogram accepted:\n%s", name, corrupt)
+		}
+	}
+}
+
+// TestParseRejects: structural violations fail at parse time.
+func TestParseRejects(t *testing.T) {
+	for name, doc := range map[string]string{
+		"sample before TYPE": "a_total 1\n# TYPE a_total counter\n",
+		"duplicate series":   "# TYPE a_total counter\na_total 1\na_total 2\n",
+		"bad value":          "# TYPE a_total counter\na_total x\n",
+		"empty":              "\n",
+	} {
+		if _, err := ParseText(strings.NewReader(doc)); err == nil {
+			t.Fatalf("%s: accepted:\n%s", name, doc)
+		}
+	}
+}
+
+// TestRegisterConflictPanics: re-registering a name with a different
+// shape is a programmer error and panics.
+func TestRegisterConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting re-registration did not panic")
+		}
+	}()
+	r.Gauge("a_total", "a")
+}
+
+// TestRegisterIdempotent: same-shape re-registration returns the same
+// underlying instrument.
+func TestRegisterIdempotent(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Add(2)
+	r.Counter("a_total", "a").Add(3)
+	if got := r.Counter("a_total", "a").Value(); got != 5 {
+		t.Fatalf("re-registered counter = %d, want 5", got)
+	}
+}

@@ -1,0 +1,359 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Scrape is one parsed text exposition: the family types declared by
+// # TYPE lines and every sample keyed by its canonical series identity
+// (name plus sorted label pairs). ParseText produces it; Validate and
+// CheckMonotonic consume it — the obsvalidate `metrics` class and the
+// registry's own tests run scrapes through both.
+type Scrape struct {
+	// Types maps family name -> declared type ("counter", "gauge",
+	// "histogram", "untyped").
+	Types map[string]string
+	// Values maps canonical series identity -> sample value.
+	Values map[string]float64
+	// Series maps canonical identity -> parsed sample, for structured
+	// access (histogram grouping).
+	Series map[string]Sample
+}
+
+// Sample is one parsed sample line.
+type Sample struct {
+	// Name is the sample's metric name as written (histogram samples
+	// keep their _bucket/_sum/_count suffix).
+	Name string
+	// Labels are the sample's label pairs.
+	Labels map[string]string
+	// Value is the sample value.
+	Value float64
+}
+
+// FamilyOf returns the family name owning a sample name: histogram
+// samples map their _bucket/_sum/_count suffix back to the declared
+// family, everything else owns its own name.
+func (s *Scrape) FamilyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suf)
+		if ok && s.Types[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+// canonicalID renders a sample's identity: name plus its label pairs
+// sorted by key, so identity is stable across writers.
+func canonicalID(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Value returns the sample value for name carrying exactly the given
+// labels (nil for an unlabeled series).
+func (s *Scrape) Value(name string, labels map[string]string) (float64, bool) {
+	v, ok := s.Values[canonicalID(name, labels)]
+	return v, ok
+}
+
+// Samples returns every parsed sample whose metric name is exactly
+// name (label sets vary), in unspecified order.
+func (s *Scrape) Samples(name string) []Sample {
+	var out []Sample
+	for _, sm := range s.Series {
+		if sm.Name == name {
+			out = append(out, sm)
+		}
+	}
+	return out
+}
+
+// ParseText parses a Prometheus text-exposition v0.0.4 document. It
+// enforces the structural rules a scraper relies on: a family's # TYPE
+// precedes its samples, no series appears twice, and every line parses.
+func ParseText(r io.Reader) (*Scrape, error) {
+	s := &Scrape{
+		Types:  map[string]string{},
+		Values: map[string]float64{},
+		Series: map[string]Sample{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && fields[1] == "TYPE" {
+				name, typ := fields[2], "untyped"
+				if len(fields) == 4 {
+					typ = fields[3]
+				}
+				if _, dup := s.Types[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate # TYPE for %s", lineNo, name)
+				}
+				s.Types[name] = typ
+			}
+			continue
+		}
+		sm, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := s.FamilyOf(sm.Name)
+		if _, ok := s.Types[fam]; !ok {
+			return nil, fmt.Errorf("line %d: sample %s before its # TYPE line", lineNo, sm.Name)
+		}
+		id := canonicalID(sm.Name, sm.Labels)
+		if _, dup := s.Values[id]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, id)
+		}
+		s.Values[id] = sm.Value
+		s.Series[id] = sm
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(s.Values) == 0 {
+		return nil, fmt.Errorf("metrics: empty exposition")
+	}
+	return s, nil
+}
+
+// parseSample parses `name{l="v",...} value` (labels optional).
+func parseSample(line string) (Sample, error) {
+	sm := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return sm, fmt.Errorf("malformed sample %q", line)
+	} else {
+		sm.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if sm.Name == "" {
+		return sm, fmt.Errorf("malformed sample %q", line)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuote, esc := false, false
+		for i := 1; i < len(rest); i++ {
+			ch := rest[i]
+			switch {
+			case esc:
+				esc = false
+			case inQuote && ch == '\\':
+				esc = true
+			case ch == '"':
+				inQuote = !inQuote
+			case !inQuote && ch == '}':
+				end = i
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return sm, fmt.Errorf("unterminated label set in %q", line)
+		}
+		var err error
+		sm.Labels, err = parseLabels(rest[1:end])
+		if err != nil {
+			return sm, fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[end+1:]
+	}
+	valStr := strings.TrimSpace(rest)
+	if i := strings.IndexByte(valStr, ' '); i >= 0 {
+		// An optional timestamp may follow the value; ignore it.
+		valStr = valStr[:i]
+	}
+	v, err := parseValue(valStr)
+	if err != nil {
+		return sm, fmt.Errorf("bad value %q in %q", valStr, line)
+	}
+	sm.Value = v
+	return sm, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels parses `k1="v1",k2="v2"`.
+func parseLabels(s string) (map[string]string, error) {
+	out := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label pair")
+		}
+		key := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, fmt.Errorf("unquoted label value for %q", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(s); i++ {
+			ch := s[i]
+			if ch == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i])
+				}
+				continue
+			}
+			if ch == '"' {
+				break
+			}
+			val.WriteByte(ch)
+		}
+		if i >= len(s) {
+			return nil, fmt.Errorf("unterminated label value for %q", key)
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("duplicate label %q", key)
+		}
+		out[key] = val.String()
+		s = strings.TrimPrefix(strings.TrimSpace(s[i+1:]), ",")
+		s = strings.TrimSpace(s)
+	}
+	return out, nil
+}
+
+// histKey identifies one histogram series group: family name plus its
+// labels minus le.
+func histKey(fam string, labels map[string]string) string {
+	rest := make(map[string]string, len(labels))
+	for k, v := range labels {
+		if k != "le" {
+			rest[k] = v
+		}
+	}
+	return canonicalID(fam, rest)
+}
+
+// Validate checks the internal consistency of one scrape: counters are
+// non-negative, and every histogram group has ascending le bounds with
+// non-decreasing cumulative counts, a +Inf bucket equal to its _count,
+// and a _sum.
+func (s *Scrape) Validate() error {
+	type bucket struct{ le, cum float64 }
+	groups := map[string][]bucket{}
+	counts := map[string]float64{}
+	sums := map[string]bool{}
+
+	for id, sm := range s.Series {
+		fam := s.FamilyOf(sm.Name)
+		switch s.Types[fam] {
+		case "counter":
+			if sm.Value < 0 {
+				return fmt.Errorf("metrics: counter %s negative (%g)", id, sm.Value)
+			}
+		case "histogram":
+			key := histKey(fam, sm.Labels)
+			switch {
+			case strings.HasSuffix(sm.Name, "_bucket"):
+				le, ok := sm.Labels["le"]
+				if !ok {
+					return fmt.Errorf("metrics: %s bucket without le label", id)
+				}
+				b, err := parseValue(le)
+				if err != nil {
+					return fmt.Errorf("metrics: %s has bad le %q", id, le)
+				}
+				groups[key] = append(groups[key], bucket{le: b, cum: sm.Value})
+			case strings.HasSuffix(sm.Name, "_count"):
+				counts[key] = sm.Value
+			case strings.HasSuffix(sm.Name, "_sum"):
+				sums[key] = true
+			}
+		}
+	}
+	for key, bs := range groups {
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		if len(bs) == 0 || !math.IsInf(bs[len(bs)-1].le, 1) {
+			return fmt.Errorf("metrics: histogram %s missing +Inf bucket", key)
+		}
+		for i := 1; i < len(bs); i++ {
+			if bs[i].cum < bs[i-1].cum {
+				return fmt.Errorf("metrics: histogram %s buckets not cumulative at le=%g (%g < %g)",
+					key, bs[i].le, bs[i].cum, bs[i-1].cum)
+			}
+		}
+		cnt, ok := counts[key]
+		if !ok {
+			return fmt.Errorf("metrics: histogram %s missing _count", key)
+		}
+		if inf := bs[len(bs)-1].cum; inf != cnt {
+			return fmt.Errorf("metrics: histogram %s +Inf bucket %g != count %g", key, inf, cnt)
+		}
+		if !sums[key] {
+			return fmt.Errorf("metrics: histogram %s missing _sum", key)
+		}
+	}
+	return nil
+}
+
+// CheckMonotonic verifies counter monotonicity between two scrapes of
+// the same target: every counter series (and histogram bucket, count
+// and sum — observations are non-negative here) present in both must
+// not decrease. Gauges are exempt.
+func CheckMonotonic(prev, cur *Scrape) error {
+	for id, pv := range prev.Values {
+		sm := prev.Series[id]
+		fam := prev.FamilyOf(sm.Name)
+		switch prev.Types[fam] {
+		case "counter", "histogram":
+		default:
+			continue
+		}
+		cv, ok := cur.Values[id]
+		if !ok {
+			return fmt.Errorf("metrics: series %s disappeared between scrapes", id)
+		}
+		if cv < pv {
+			return fmt.Errorf("metrics: %s went backwards: %g -> %g", id, pv, cv)
+		}
+	}
+	return nil
+}

@@ -98,6 +98,12 @@ type Event struct {
 	// TimeUnixNS is a wall-clock stamp. Emit sites leave it zero; the
 	// encoding sinks stamp it on write.
 	TimeUnixNS int64 `json:"time_unix_ns,omitempty"`
+	// RunID is the run correlation identifier: the serving layer's
+	// registry run ID (fim.Options.RunID), stamped onto every event of
+	// the run by WithRunID so a metrics anomaly, an SSE stream, a run
+	// report and a flight-recorder entry can all be joined on one key.
+	// Zero when the run has no external identity (one-shot fimmine).
+	RunID int64 `json:"run_id,omitempty"`
 
 	// Run identity (run_start).
 	Dataset        string `json:"dataset,omitempty"`
@@ -188,6 +194,30 @@ func (r *Recorder) ByType(t Type) []Event {
 		}
 	}
 	return out
+}
+
+// runIDTagger stamps a run correlation ID onto every event passing
+// through it.
+type runIDTagger struct {
+	o  Observer
+	id int64
+}
+
+func (t *runIDTagger) Event(e Event) {
+	if e.RunID == 0 {
+		e.RunID = t.id
+	}
+	t.o.Event(e)
+}
+
+// WithRunID wraps o so every event it receives carries the run
+// correlation ID id (events already tagged keep their own). A nil o or
+// zero id returns o unchanged.
+func WithRunID(o Observer, id int64) Observer {
+	if o == nil || id == 0 {
+		return o
+	}
+	return &runIDTagger{o: o, id: id}
 }
 
 // multi fans events out to several observers.

@@ -17,6 +17,7 @@ type Pool struct {
 	capBytes int64
 	used     atomic.Int64
 	peak     atomic.Int64
+	breaches atomic.Int64
 }
 
 // NewPool returns a shared budget of capBytes live payload bytes across
@@ -49,6 +50,16 @@ func (p *Pool) Peak() int64 {
 		return 0
 	}
 	return p.peak.Load()
+}
+
+// Breaches returns how many runs the pool has stopped with a
+// shared-memory budget breach since construction — a monotone counter
+// the serving layer exposes as a time series.
+func (p *Pool) Breaches() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.breaches.Load()
 }
 
 // Fraction returns Used/Cap, or 0 for a nil or uncapped pool — the
@@ -124,6 +135,10 @@ func (c *Control) checkPool() error {
 		return nil
 	}
 	err := &BudgetError{Resource: "shared-memory", Limit: c.pool.Cap(), Used: c.pool.Used()}
-	c.Stop(err)
+	if c.Stop(err) {
+		// This run lost the capacity race and is the one being stopped:
+		// count the breach once, on the stop that actually took.
+		c.pool.breaches.Add(1)
+	}
 	return c.Cause()
 }

@@ -156,17 +156,21 @@ func (c *Control) Budget() Budget {
 
 // Stop records err as the run's stop cause and raises the stop flag.
 // Only the first cause is kept; later calls are no-ops. A nil err is
-// ignored.
-func (c *Control) Stop(err error) {
+// ignored. It reports whether this call recorded the cause — the
+// winner of a racing stop, which accounting sites (the shared pool's
+// breach counter) use to count each stopped run exactly once.
+func (c *Control) Stop(err error) bool {
 	if c == nil || err == nil {
-		return
+		return false
 	}
 	c.mu.Lock()
-	if c.cause == nil {
+	first := c.cause == nil
+	if first {
 		c.cause = err
 	}
 	c.mu.Unlock()
 	c.stopped.Store(true)
+	return first
 }
 
 // Stopped reports whether the run should unwind. It is a single atomic

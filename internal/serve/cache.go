@@ -39,14 +39,13 @@ type resultCache struct {
 	seq     int64
 	entries map[cacheKey]*cacheEntry
 
-	hits     int64
-	filtered int64
-	misses   int64
-	evicted  int64
+	// met holds the cache's registry instruments; the cache increments
+	// them directly so /metrics and /stats read the same atomics.
+	met *cacheMetrics
 }
 
-func newResultCache(budget int64) *resultCache {
-	return &resultCache{budget: budget, entries: make(map[cacheKey]*cacheEntry)}
+func newResultCache(budget int64, met *cacheMetrics) *resultCache {
+	return &resultCache{budget: budget, entries: make(map[cacheKey]*cacheEntry), met: met}
 }
 
 func entryBytes(sets []fim.ItemsetCount) int64 {
@@ -59,27 +58,27 @@ func entryBytes(sets []fim.ItemsetCount) int64 {
 
 // lookup answers a request at absolute support absSup if a complete
 // entry at support <= absSup exists. The exact-threshold case is a
-// plain hit; a lower-threshold entry answers by filtering — supports
-// are exact either way because a run at lower minsup finds a superset
-// of the itemsets with identical counts.
-func (c *resultCache) lookup(k cacheKey, absSup int) (sets []fim.ItemsetCount, maxK int, ok bool) {
+// plain hit (exact=true); a lower-threshold entry answers by filtering
+// — supports are exact either way because a run at lower minsup finds
+// a superset of the itemsets with identical counts.
+func (c *resultCache) lookup(k cacheKey, absSup int) (sets []fim.ItemsetCount, maxK int, exact, ok bool) {
 	if c.budget < 0 {
-		return nil, 0, false
+		return nil, 0, false, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, found := c.entries[k]
 	if !found || e.minSupAbs > absSup {
-		c.misses++
-		return nil, 0, false
+		c.met.misses.Inc()
+		return nil, 0, false, false
 	}
 	c.seq++
 	e.lastUse = c.seq
 	if e.minSupAbs == absSup {
-		c.hits++
-		return e.sets, e.maxK, true
+		c.met.hits.Inc()
+		return e.sets, e.maxK, true, true
 	}
-	c.filtered++
+	c.met.filtered.Inc()
 	out := make([]fim.ItemsetCount, 0, len(e.sets))
 	for _, ic := range e.sets {
 		if ic.Support >= absSup {
@@ -89,7 +88,7 @@ func (c *resultCache) lookup(k cacheKey, absSup int) (sets []fim.ItemsetCount, m
 			}
 		}
 	}
-	return out, maxK, true
+	return out, maxK, false, true
 }
 
 // store saves a complete answer. Only a lower (or first) support
@@ -116,6 +115,7 @@ func (c *resultCache) store(k cacheKey, absSup int, sets []fim.ItemsetCount, max
 	c.entries[k] = &cacheEntry{minSupAbs: absSup, sets: sets, maxK: maxK, bytes: nb, lastUse: c.seq}
 	c.used += nb
 	c.evict()
+	c.met.bytes.Set(c.used)
 }
 
 // evict drops highest staleness x size first until within budget.
@@ -136,16 +136,15 @@ func (c *resultCache) evict() {
 		}
 		c.used -= c.entries[worstKey].bytes
 		delete(c.entries, worstKey)
-		c.evicted++
+		c.met.evictions.Inc()
 	}
 	// A single over-budget entry is kept (it was admitted under the
 	// size gate above, so this only happens after a budget shrink).
 }
 
 func (c *resultCache) stats() (hits, filtered, misses, bytes, evictions int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.filtered, c.misses, c.used, c.evicted
+	return c.met.hits.Value(), c.met.filtered.Value(), c.met.misses.Value(),
+		c.met.bytes.Value(), c.met.evictions.Value()
 }
 
 // flightGroup deduplicates identical in-flight requests (same dataset,

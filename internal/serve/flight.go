@@ -1,0 +1,151 @@
+// The flight recorder: a fixed-size ring of the last N terminal run
+// records plus K sampled span timelines, cheap enough to run always-on
+// and dumped exactly when an operator needs a post-mortem — on drain,
+// on a contained worker panic, and on demand at /debug/flight. Where
+// /metrics answers "how is the service doing", the flight dump answers
+// "what were the last things it did before it stopped doing them".
+package serve
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// flightSchema versions the dump format.
+const flightSchema = "fimserve-flight/v1"
+
+// flightTrace is one sampled run timeline: the registry run ID it
+// correlates to, plus the recorded spans.
+type flightTrace struct {
+	RunID        int64      `json:"run_id"`
+	Workers      int        `json:"workers"`
+	DroppedSpans int64      `json:"dropped_spans,omitempty"`
+	Spans        []obs.Span `json:"spans"`
+}
+
+// FlightDump is the serialized flight-recorder state: the last runs
+// (oldest first) and the sampled timelines.
+type FlightDump struct {
+	Schema          string        `json:"schema"`
+	Reason          string        `json:"reason"` // drain | panic | request
+	GeneratedUnixNS int64         `json:"generated_unix_ns"`
+	Runs            []RunInfo     `json:"runs"`
+	Traces          []flightTrace `json:"traces,omitempty"`
+}
+
+// flightSpanLimit caps a sampled timeline's retained spans — flight
+// traces are post-mortem breadcrumbs, not full Perfetto exports, so
+// they stay small enough to dump into one JSON file.
+const flightSpanLimit = 1 << 14
+
+// flightRecorder keeps the rings. All methods are safe for concurrent
+// use; recording is O(1) with one short critical section.
+type flightRecorder struct {
+	mu          sync.Mutex
+	runs        []RunInfo // ring of terminal run records
+	runNext     int
+	runFull     bool
+	traces      []flightTrace // ring of sampled timelines
+	trNext      int
+	trFull      bool
+	admitted    int64 // admitted runs seen, drives sampling
+	sampleEvery int
+}
+
+func newFlightRecorder(runs, traces, sampleEvery int) *flightRecorder {
+	return &flightRecorder{
+		runs:        make([]RunInfo, runs),
+		traces:      make([]flightTrace, traces),
+		sampleEvery: sampleEvery,
+	}
+}
+
+// record files one terminal run record into the ring.
+func (f *flightRecorder) record(ri RunInfo) {
+	f.mu.Lock()
+	f.runs[f.runNext] = ri
+	f.runNext++
+	if f.runNext == len(f.runs) {
+		f.runNext, f.runFull = 0, true
+	}
+	f.mu.Unlock()
+}
+
+// sample returns a span recorder for every sampleEvery-th admitted run
+// (the first included), nil otherwise. The caller attaches the recorder
+// to the run and hands it back via addTrace when the run ends.
+func (f *flightRecorder) sample() *obs.TraceRecorder {
+	if len(f.traces) == 0 || f.sampleEvery <= 0 {
+		return nil
+	}
+	f.mu.Lock()
+	n := f.admitted
+	f.admitted++
+	f.mu.Unlock()
+	if n%int64(f.sampleEvery) != 0 {
+		return nil
+	}
+	tr := obs.NewTraceRecorder()
+	tr.SetLimit(flightSpanLimit)
+	return tr
+}
+
+// addTrace files a completed sampled timeline under its run ID.
+func (f *flightRecorder) addTrace(runID int64, tr *obs.TraceRecorder) {
+	if tr == nil {
+		return
+	}
+	t := flightTrace{
+		RunID:        runID,
+		Workers:      tr.Workers(),
+		DroppedSpans: tr.Dropped(),
+		Spans:        tr.Spans(),
+	}
+	f.mu.Lock()
+	f.traces[f.trNext] = t
+	f.trNext++
+	if f.trNext == len(f.traces) {
+		f.trNext, f.trFull = 0, true
+	}
+	f.mu.Unlock()
+}
+
+// unring copies a ring's occupied entries oldest-first.
+func unring[T any](buf []T, next int, full bool, empty func(T) bool) []T {
+	var out []T
+	if full {
+		out = append(out, buf[next:]...)
+	}
+	for _, v := range buf[:next] {
+		if !empty(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// dump snapshots the recorder state.
+func (f *flightRecorder) dump(reason string) FlightDump {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FlightDump{
+		Schema:          flightSchema,
+		Reason:          reason,
+		GeneratedUnixNS: time.Now().UnixNano(),
+		Runs:            unring(f.runs, f.runNext, f.runFull, func(r RunInfo) bool { return r.ID == 0 }),
+		Traces:          unring(f.traces, f.trNext, f.trFull, func(t flightTrace) bool { return t.RunID == 0 }),
+	}
+}
+
+// writeFile dumps the recorder state as JSON at path.
+func (f *flightRecorder) writeFile(path, reason string) error {
+	b, err := json.MarshalIndent(f.dump(reason), "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

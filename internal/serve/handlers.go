@@ -27,6 +27,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.Handle("GET /metrics", s.met.reg.Handler())
+	s.mux.HandleFunc("GET /debug/flight", s.handleFlight)
 }
 
 // mineRequest is a parsed, validated, budget-clamped /mine request.
@@ -263,25 +265,37 @@ func (s *Server) parseMine(w http.ResponseWriter, r *http.Request) (*mineRequest
 // full), then the run itself under per-request budgets, the shared
 // memory pool and panic containment.
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	tenant := r.Header.Get("X-Tenant")
+	if tenant == "" {
+		tenant = "anon"
+	}
 	if s.draining.Load() {
 		w.Header().Set("Retry-After", "10")
 		httpError(w, http.StatusServiceUnavailable, "draining: not accepting new runs")
+		s.finishRequest(tenant, outcomeDrained, false, start)
 		return
 	}
 	mr, ok := s.parseMine(w, r)
 	if !ok {
+		s.finishRequest(tenant, outcomeBadRequest, false, start)
 		return
 	}
 	ck := cacheKey{dataset: mr.dsKey, algo: mr.algo.String(), rep: mr.rep.String()}
 
 	// Cache first: a hit costs no queue slot, no worker, no pool bytes.
-	if sets, maxK, hit := s.cache.lookup(ck, mr.absSup); hit {
+	if sets, maxK, exact, hit := s.cache.lookup(ck, mr.absSup); hit {
 		resp := mineResponse{
 			Dataset: mr.dsLabel, Algo: ck.algo, Rep: ck.rep,
 			AbsSup: mr.absSup, Itemsets: len(sets), MaxK: maxK,
 			Cached: true, Sets: toJSONSets(sets, mr.limit),
 		}
 		writeJSON(w, http.StatusOK, resp)
+		oc := outcomeCacheHit
+		if !exact {
+			oc = outcomeFiltered
+		}
+		s.finishRequest(mr.tenant, oc, false, start)
 		return
 	}
 
@@ -291,6 +305,7 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	if !s.beginRequest() {
 		w.Header().Set("Retry-After", "10")
 		httpError(w, http.StatusServiceUnavailable, "draining: not accepting new runs")
+		s.finishRequest(mr.tenant, outcomeDrained, false, start)
 		return
 	}
 	defer s.inflight.Done()
@@ -299,19 +314,55 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	fk := flightKey{cacheKey: ck, absSup: mr.absSup}
 	fl, leader, finish := s.flights.join(fk)
 	if !leader {
-		s.deduped.Add(1)
+		// Counted at join, not completion: "how many requests were
+		// coalesced" is a statement about admission, and callers (tests
+		// included) watch it to see the dedup happen.
+		s.met.outcome(mr.tenant, outcomeCoalesced)
 		select {
 		case <-fl.done:
 			writeOutcome(w, fl.out, mr.limit)
 		case <-r.Context().Done():
 			httpError(w, http.StatusServiceUnavailable, "client gone while waiting for shared run")
 		}
+		d := time.Since(start)
+		s.met.requestDur.Observe(d.Seconds())
+		s.slo.record(outcomeCoalesced, false, d)
 		return
 	}
 
 	out := s.runLeader(r, mr, ck)
 	finish(out)
 	writeOutcome(w, out, mr.limit)
+	oc, admitted := leaderOutcome(out)
+	s.finishRequest(mr.tenant, oc, admitted, start)
+}
+
+// finishRequest records one terminal /mine outcome everywhere it is
+// accounted: the admission and per-tenant counters, the request-latency
+// histogram, and the SLO watchdog's window buckets.
+func (s *Server) finishRequest(tenant, outcome string, admitted bool, start time.Time) {
+	d := time.Since(start)
+	s.met.requestDur.Observe(d.Seconds())
+	s.met.outcome(tenant, outcome)
+	s.slo.record(outcome, admitted, d)
+}
+
+// leaderOutcome classifies a leader's runOutcome into an admission
+// outcome: pre-admission rejections keep their rung's label, everything
+// that held a worker slot — complete, degraded or stopped — is
+// "admitted".
+func leaderOutcome(out *runOutcome) (string, bool) {
+	switch out.stopReason {
+	case "quota":
+		return outcomeQuota, false
+	case "shed":
+		return outcomeShed, false
+	case "canceled":
+		if !out.ran {
+			return outcomeAbandoned, false
+		}
+	}
+	return outcomeAdmitted, true
 }
 
 // writeOutcome renders a shared run outcome onto one response, applying
@@ -337,7 +388,6 @@ func (s *Server) runLeader(r *http.Request, mr *mineRequest, ck cacheKey) *runOu
 	// Tenant quota: one tenant cannot occupy the whole queue.
 	leave, ok := s.adm.tenantEnter(mr.tenant)
 	if !ok {
-		s.quotaRej.Add(1)
 		ra := s.adm.retryAfter()
 		base.Error = fmt.Sprintf("tenant %q over its quota of %d in-flight requests", mr.tenant, s.cfg.PerTenant)
 		return &runOutcome{status: http.StatusTooManyRequests, body: base,
@@ -356,38 +406,48 @@ func (s *Server) runLeader(r *http.Request, mr *mineRequest, ck cacheKey) *runOu
 
 	// Bounded queue: full means shed now with 429 + Retry-After, not an
 	// invisible unbounded backlog.
+	qstart := time.Now()
 	release, ok, shed := s.adm.acquire(runCtx, s.drainCh)
 	if !ok {
 		var status int
 		var reason string
 		if shed {
-			s.shed.Add(1)
 			status, reason = http.StatusTooManyRequests, "shed"
 			base.Error = "admission queue full"
 		} else {
 			status, reason = http.StatusServiceUnavailable, "canceled"
 			base.Error = "abandoned while queued (client gone or server draining)"
 		}
-		s.reg.finish(lr, func(ri *RunInfo) {
+		info := s.reg.finish(lr, func(ri *RunInfo) {
 			ri.HTTPStatus = status
 			ri.StopReason = reason
 			ri.Err = base.Error
 			ri.State = reason
 		})
+		s.flight.record(info)
 		bc.CloseStream()
 		base.StopReason = reason
 		return &runOutcome{status: status, body: base, stopReason: reason,
 			retryAfter: s.adm.retryAfter()}
 	}
 	defer release()
+	s.met.queueWait.Observe(time.Since(qstart).Seconds())
 	s.reg.running(lr)
-	s.admitted.Add(1)
+
+	// Every n-th admitted run carries a span recorder whose timeline
+	// lands in the flight recorder's trace ring.
+	tr := s.flight.sample()
+	if tr != nil {
+		s.met.flightSampled.Inc()
+	}
 
 	opt := fim.Options{
 		Algorithm:        mr.algo,
 		Representation:   mr.rep,
 		Workers:          mr.workers,
-		Observer:         bc,
+		Observer:         fim.MultiObserver(bc, s.met.tap()),
+		RunID:            base.RunID,
+		SpanTrace:        tr,
 		MaxMemoryBytes:   mr.maxMemory,
 		MaxItemsets:      mr.maxItemsets,
 		MaxDuration:      mr.maxDuration,
@@ -402,7 +462,9 @@ func (s *Server) runLeader(r *http.Request, mr *mineRequest, ck cacheKey) *runOu
 	bc.CloseStream()
 
 	out := s.classify(mr, ck, base, res, err, elapsed)
-	s.reg.finish(lr, func(ri *RunInfo) {
+	out.ran = true
+	s.met.observeRun(elapsed, out.stopReason)
+	info := s.reg.finish(lr, func(ri *RunInfo) {
 		ri.HTTPStatus = out.status
 		ri.StopReason = out.stopReason
 		ri.Err = out.body.Error
@@ -411,7 +473,18 @@ func (s *Server) runLeader(r *http.Request, mr *mineRequest, ck cacheKey) *runOu
 		ri.Incomplete = out.body.Incomplete
 		ri.Degraded = out.body.Degraded
 	})
+	s.flight.record(info)
+	s.flight.addTrace(info.ID, tr)
+	if out.stopReason == "worker-panic" && s.cfg.FlightPath != "" {
+		// A contained panic is exactly what the flight recorder exists
+		// for: snapshot now, to a side file the drain dump won't clobber.
+		_ = s.flight.writeFile(s.cfg.FlightPath+".panic", "panic")
+	}
 	return out
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.flight.dump("request"))
 }
 
 // classify maps a finished run onto the degrade-don't-die status
@@ -439,7 +512,7 @@ func (s *Server) classify(mr *mineRequest, ck cacheKey, base mineResponse, res *
 	base.Error = err.Error()
 	switch reason {
 	case "worker-panic":
-		s.panics.Add(1)
+		s.met.panics.Inc()
 		return &runOutcome{status: http.StatusInternalServerError, body: base, sets: sets, stopReason: reason}
 	case "budget:memory", "budget:itemsets", "budget:duration", "budget:shared-memory",
 		"canceled", "deadline":
@@ -495,16 +568,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	type readiness struct {
-		Ready       bool    `json:"ready"`
-		Reason      string  `json:"reason,omitempty"`
-		QueueDepth  int     `json:"queue_depth"`
-		QueueCap    int     `json:"queue_cap"`
-		MemFraction float64 `json:"mem_fraction"`
+		Ready       bool      `json:"ready"`
+		Reason      string    `json:"reason,omitempty"`
+		QueueDepth  int       `json:"queue_depth"`
+		QueueCap    int       `json:"queue_cap"`
+		MemFraction float64   `json:"mem_fraction"`
+		SLO         SLOStatus `json:"slo"`
 	}
+	// The SLO state is surfaced, not gated on: readiness stays a
+	// capacity question (draining, queue, memory) so a burn-rate page —
+	// which already means "shedding load" — doesn't also yank the
+	// instance from rotation and make the overload worse.
 	rd := readiness{
 		QueueDepth:  s.adm.queueLen(),
 		QueueCap:    s.cfg.QueueDepth,
 		MemFraction: s.pool.Fraction(),
+		SLO:         s.slo.current(),
 	}
 	switch {
 	case s.draining.Load():

@@ -176,4 +176,5 @@ type runOutcome struct {
 	sets       []fim.ItemsetCount
 	stopReason string
 	retryAfter time.Duration // > 0 on shed/quota responses
+	ran        bool          // held a worker slot (vs rejected pre-admission)
 }

@@ -81,6 +81,22 @@ type Config struct {
 	// DrainGrace is how long Drain lets in-flight runs finish before
 	// budget-stopping them. Default 10s.
 	DrainGrace time.Duration
+	// TenantSeries caps the distinct tenant label values in /metrics;
+	// past it new tenants fold into tenant="other". Default 32.
+	TenantSeries int
+	// FlightRuns and FlightTraces size the flight recorder's rings of
+	// terminal run records and sampled span timelines. Defaults 128
+	// and 4.
+	FlightRuns, FlightTraces int
+	// FlightSampleEvery attaches a span recorder to every n-th admitted
+	// run for the flight recorder's timeline ring. Default 8.
+	FlightSampleEvery int
+	// FlightPath, when non-empty, is where the flight recorder dumps on
+	// drain (and <FlightPath>.panic on a contained worker panic). The
+	// dump is always available at /debug/flight regardless.
+	FlightPath string
+	// SLO tunes the burn-rate watchdog; zero fields get defaults.
+	SLO SLOConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +143,19 @@ func (c Config) withDefaults() Config {
 	if c.DrainGrace <= 0 {
 		c.DrainGrace = 10 * time.Second
 	}
+	if c.TenantSeries <= 0 {
+		c.TenantSeries = 32
+	}
+	if c.FlightRuns <= 0 {
+		c.FlightRuns = 128
+	}
+	if c.FlightTraces <= 0 {
+		c.FlightTraces = 4
+	}
+	if c.FlightSampleEvery <= 0 {
+		c.FlightSampleEvery = 8
+	}
+	c.SLO = c.SLO.withDefaults()
 	return c
 }
 
@@ -141,21 +170,21 @@ type Server struct {
 	reg     *registry
 	mux     *http.ServeMux
 
+	// met holds every registered instrument; /metrics renders it and
+	// /stats reads it, so the two views share one set of atomics.
+	met    *serverMetrics
+	flight *flightRecorder
+	slo    *sloWatchdog
+
 	draining atomic.Bool
 	drainCh  chan struct{} // closed when draining starts
 	drainOne sync.Once
+	dumpOne  sync.Once
 	// inflightMu orders inflight.Add against Drain's inflight.Wait: a
 	// request registers (Add) and Drain flips the draining flag under
 	// the same lock, so once Wait starts no new Add can slip in.
 	inflightMu sync.Mutex
 	inflight   sync.WaitGroup
-
-	// stats
-	admitted atomic.Int64
-	shed     atomic.Int64
-	quotaRej atomic.Int64
-	panics   atomic.Int64
-	deduped  atomic.Int64
 }
 
 // New builds a Server from cfg (zero fields defaulted).
@@ -165,11 +194,15 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		pool:    fim.NewSharedPool(cfg.GlobalMemory),
 		adm:     newAdmission(cfg.Workers, cfg.QueueDepth, cfg.PerTenant),
-		cache:   newResultCache(cfg.CacheBytes),
 		flights: newFlightGroup(),
 		reg:     newRegistry(cfg.RecentRuns),
+		flight:  newFlightRecorder(cfg.FlightRuns, cfg.FlightTraces, cfg.FlightSampleEvery),
+		slo:     newSLOWatchdog(cfg.SLO),
 		drainCh: make(chan struct{}),
 	}
+	s.met = newServerMetrics(s, cfg.TenantSeries)
+	s.cache = newResultCache(cfg.CacheBytes, newCacheMetrics(s.met.reg))
+	go s.slo.run(s.drainCh, s.met)
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
@@ -210,6 +243,14 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.inflightMu.Unlock()
 		close(s.drainCh)
 	})
+	// Drop the flight recording on the way out: by the time Drain
+	// returns, every in-flight run that was going to finish has been
+	// recorded.
+	defer func() {
+		if s.cfg.FlightPath != "" {
+			s.dumpOne.Do(func() { _ = s.flight.writeFile(s.cfg.FlightPath, "drain") })
+		}
+	}()
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
@@ -237,26 +278,31 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// Stats is the server-level aggregate snapshot served at /stats.
+// Stats is the server-level aggregate snapshot served at /stats. It is
+// a JSON projection of the metrics registry — every counter here reads
+// the same atomic the /metrics exposition renders, so the two can never
+// disagree.
 type Stats struct {
-	Admitted       int64   `json:"admitted"`
-	Shed           int64   `json:"shed"`
-	QuotaRejected  int64   `json:"quota_rejected"`
-	Deduplicated   int64   `json:"deduplicated"`
-	WorkerPanics   int64   `json:"worker_panics"`
-	CacheHits      int64   `json:"cache_hits"`
-	CacheFiltered  int64   `json:"cache_filtered_hits"`
-	CacheMisses    int64   `json:"cache_misses"`
-	CacheBytes     int64   `json:"cache_bytes"`
-	CacheEvictions int64   `json:"cache_evictions"`
-	PoolUsed       int64   `json:"pool_used_bytes"`
-	PoolPeak       int64   `json:"pool_peak_bytes"`
-	PoolCap        int64   `json:"pool_cap_bytes"`
-	QueueDepth     int     `json:"queue_depth"`
-	QueueCap       int     `json:"queue_cap"`
-	Running        int     `json:"running"`
-	Draining       bool    `json:"draining"`
-	MemFraction    float64 `json:"mem_fraction"`
+	Admitted       int64     `json:"admitted"`
+	Shed           int64     `json:"shed"`
+	QuotaRejected  int64     `json:"quota_rejected"`
+	Deduplicated   int64     `json:"deduplicated"`
+	WorkerPanics   int64     `json:"worker_panics"`
+	PoolBreaches   int64     `json:"pool_breaches"`
+	CacheHits      int64     `json:"cache_hits"`
+	CacheFiltered  int64     `json:"cache_filtered_hits"`
+	CacheMisses    int64     `json:"cache_misses"`
+	CacheBytes     int64     `json:"cache_bytes"`
+	CacheEvictions int64     `json:"cache_evictions"`
+	PoolUsed       int64     `json:"pool_used_bytes"`
+	PoolPeak       int64     `json:"pool_peak_bytes"`
+	PoolCap        int64     `json:"pool_cap_bytes"`
+	QueueDepth     int       `json:"queue_depth"`
+	QueueCap       int       `json:"queue_cap"`
+	Running        int       `json:"running"`
+	Draining       bool      `json:"draining"`
+	MemFraction    float64   `json:"mem_fraction"`
+	SLO            SLOStatus `json:"slo"`
 }
 
 // Report is the daemon's terminal audit trail, written by fimserve on
@@ -283,11 +329,12 @@ func (s *Server) ShutdownReport() Report {
 func (s *Server) stats() Stats {
 	ch, cf, cm, cb, ce := s.cache.stats()
 	return Stats{
-		Admitted:       s.admitted.Load(),
-		Shed:           s.shed.Load(),
-		QuotaRejected:  s.quotaRej.Load(),
-		Deduplicated:   s.deduped.Load(),
-		WorkerPanics:   s.panics.Load(),
+		Admitted:       s.met.admission.With(outcomeAdmitted).Value(),
+		Shed:           s.met.admission.With(outcomeShed).Value(),
+		QuotaRejected:  s.met.admission.With(outcomeQuota).Value(),
+		Deduplicated:   s.met.admission.With(outcomeCoalesced).Value(),
+		WorkerPanics:   s.met.panics.Value(),
+		PoolBreaches:   s.pool.Breaches(),
 		CacheHits:      ch,
 		CacheFiltered:  cf,
 		CacheMisses:    cm,
@@ -301,5 +348,6 @@ func (s *Server) stats() Stats {
 		Running:        s.adm.runningLen(),
 		Draining:       s.draining.Load(),
 		MemFraction:    s.pool.Fraction(),
+		SLO:            s.slo.current(),
 	}
 }

@@ -22,6 +22,7 @@ import (
 
 	fim "repro"
 	"repro/internal/obs/export"
+	"repro/internal/obs/metrics"
 	"repro/internal/sched"
 )
 
@@ -402,7 +403,9 @@ func TestSingleFlight(t *testing.T) {
 		}(i)
 	}
 	waitFor(t, "the leader to start running", func() bool { return s.adm.runningLen() == 1 })
-	waitFor(t, "the follower to join the flight", func() bool { return s.deduped.Load() == 1 })
+	waitFor(t, "the follower to join the flight", func() bool {
+		return s.met.admission.With(outcomeCoalesced).Value() == 1
+	})
 	close(gate)
 	wg.Wait()
 
@@ -492,14 +495,14 @@ func TestDrainGraceful(t *testing.T) {
 // TestCacheEviction: a cache budget smaller than two entries keeps the
 // more recently used one.
 func TestCacheEviction(t *testing.T) {
-	c := newResultCache(400)
+	c := newResultCache(400, newCacheMetrics(metrics.NewRegistry()))
 	big := make([]fim.ItemsetCount, 8) // entryBytes = 8*24 + 64 = 256
 	c.store(cacheKey{dataset: "a"}, 2, big, 1)
 	c.store(cacheKey{dataset: "b"}, 2, big, 1)
-	if _, _, ok := c.lookup(cacheKey{dataset: "b"}, 2); !ok {
+	if _, _, _, ok := c.lookup(cacheKey{dataset: "b"}, 2); !ok {
 		t.Fatal("most recent entry evicted")
 	}
-	if _, _, ok := c.lookup(cacheKey{dataset: "a"}, 2); ok {
+	if _, _, _, ok := c.lookup(cacheKey{dataset: "a"}, 2); ok {
 		t.Fatal("older entry survived a budget that fits only one")
 	}
 	_, _, _, bytes, evictions := c.stats()
@@ -513,9 +516,9 @@ func TestCacheEviction(t *testing.T) {
 
 // TestCacheDisabled: a negative budget turns the cache off entirely.
 func TestCacheDisabled(t *testing.T) {
-	c := newResultCache(-1)
+	c := newResultCache(-1, newCacheMetrics(metrics.NewRegistry()))
 	c.store(cacheKey{dataset: "a"}, 2, make([]fim.ItemsetCount, 2), 1)
-	if _, _, ok := c.lookup(cacheKey{dataset: "a"}, 2); ok {
+	if _, _, _, ok := c.lookup(cacheKey{dataset: "a"}, 2); ok {
 		t.Fatal("disabled cache served a hit")
 	}
 }

@@ -1,0 +1,242 @@
+// The SLO burn-rate watchdog: the service's own judgement of whether it
+// is meeting its objectives, computed the way an on-call pager would —
+// multiwindow error-budget burn rates, not raw counts. Two SLOs are
+// tracked: a shed SLO (at most ShedBudget of requests turned away by
+// the queue or quota) and a latency SLO (at most LatencyBudget of
+// admitted runs slower than LatencyObjective). For each, the burn rate
+// is the bad fraction divided by the budget — burn 1.0 means "spending
+// the budget exactly as fast as allowed" — and an alert state requires
+// the burn to exceed the threshold over BOTH a short and a long window,
+// so a single shed spike neither pages nor hides sustained overload.
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// SLOConfig tunes the burn-rate watchdog. Zero fields get defaults.
+type SLOConfig struct {
+	// ShedBudget is the allowed fraction of requests shed by the queue
+	// or a tenant quota. Default 0.05.
+	ShedBudget float64
+	// LatencyObjective is the per-run latency objective; an admitted
+	// run slower than this spends latency budget. Default 5s.
+	LatencyObjective time.Duration
+	// LatencyBudget is the allowed fraction of admitted runs over the
+	// objective. Default 0.01.
+	LatencyBudget float64
+	// ShortWindow and LongWindow are the two burn evaluation windows.
+	// Defaults 1m and 10m; LongWindow is capped at one hour (the
+	// watchdog keeps one-second resolution buckets for the long window).
+	ShortWindow, LongWindow time.Duration
+	// WarnBurn and PageBurn are the burn-rate thresholds (both windows
+	// must exceed one to enter its state). Defaults 2 and 10.
+	WarnBurn, PageBurn float64
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.ShedBudget <= 0 {
+		c.ShedBudget = 0.05
+	}
+	if c.LatencyObjective <= 0 {
+		c.LatencyObjective = 5 * time.Second
+	}
+	if c.LatencyBudget <= 0 {
+		c.LatencyBudget = 0.01
+	}
+	if c.ShortWindow <= 0 {
+		c.ShortWindow = time.Minute
+	}
+	if c.LongWindow <= c.ShortWindow {
+		c.LongWindow = 10 * c.ShortWindow
+	}
+	if c.LongWindow > time.Hour {
+		c.LongWindow = time.Hour
+	}
+	if c.WarnBurn <= 0 {
+		c.WarnBurn = 2
+	}
+	if c.PageBurn <= c.WarnBurn {
+		c.PageBurn = 5 * c.WarnBurn
+	}
+	return c
+}
+
+// Watchdog states, also exposed as the fimserve_slo_state gauge.
+const (
+	sloOK   = 0
+	sloWarn = 1
+	sloPage = 2
+)
+
+func sloStateName(code int) string {
+	switch code {
+	case sloWarn:
+		return "warn"
+	case sloPage:
+		return "page"
+	}
+	return "ok"
+}
+
+// SLOStatus is the watchdog's current judgement, served in /stats and
+// /readyz. Burn rates are unitless multiples of the sustainable rate.
+type SLOStatus struct {
+	State            string  `json:"state"` // ok | warn | page
+	ShedBurnShort    float64 `json:"shed_burn_short"`
+	ShedBurnLong     float64 `json:"shed_burn_long"`
+	LatencyBurnShort float64 `json:"latency_burn_short"`
+	LatencyBurnLong  float64 `json:"latency_burn_long"`
+}
+
+// sloBucket is one second of request outcomes.
+type sloBucket struct {
+	sec      int64 // unix second this bucket currently holds
+	total    int64 // terminal /mine outcomes
+	shed     int64 // shed or quota-rejected
+	admitted int64 // runs that held a worker slot
+	slow     int64 // admitted runs over the latency objective
+}
+
+// sloWatchdog accumulates per-second outcome buckets and evaluates the
+// two SLOs over sliding windows. now is injectable for deterministic
+// tests.
+type sloWatchdog struct {
+	cfg SLOConfig
+	now func() time.Time
+
+	mu      sync.Mutex
+	buckets []sloBucket // ring indexed by unix-second % len
+}
+
+func newSLOWatchdog(cfg SLOConfig) *sloWatchdog {
+	cfg = cfg.withDefaults()
+	n := int(cfg.LongWindow / time.Second)
+	if n < 2 {
+		n = 2
+	}
+	return &sloWatchdog{cfg: cfg, now: time.Now, buckets: make([]sloBucket, n)}
+}
+
+// bucket returns the ring slot for sec, resetting it if it still holds
+// an older second. Callers hold mu.
+func (w *sloWatchdog) bucket(sec int64) *sloBucket {
+	b := &w.buckets[sec%int64(len(w.buckets))]
+	if b.sec != sec {
+		*b = sloBucket{sec: sec}
+	}
+	return b
+}
+
+// record files one terminal request outcome. admitted says the request
+// held a worker slot (its duration then counts against the latency
+// objective); shed-class outcomes (queue shed, tenant quota) spend
+// shed budget.
+func (w *sloWatchdog) record(outcome string, admitted bool, dur time.Duration) {
+	sec := w.now().Unix()
+	w.mu.Lock()
+	b := w.bucket(sec)
+	b.total++
+	if outcome == outcomeShed || outcome == outcomeQuota {
+		b.shed++
+	}
+	if admitted {
+		b.admitted++
+		if dur > w.cfg.LatencyObjective {
+			b.slow++
+		}
+	}
+	w.mu.Unlock()
+}
+
+// window sums the buckets covering the last d ending at nowSec.
+func (w *sloWatchdog) window(nowSec int64, d time.Duration) (total, shed, admitted, slow int64) {
+	lo := nowSec - int64(d/time.Second) + 1
+	for i := range w.buckets {
+		b := &w.buckets[i]
+		if b.sec >= lo && b.sec <= nowSec {
+			total += b.total
+			shed += b.shed
+			admitted += b.admitted
+			slow += b.slow
+		}
+	}
+	return
+}
+
+func burn(bad, total int64, budget float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(bad) / float64(total) / budget
+}
+
+// evaluate computes the current status: each SLO's burn over both
+// windows, and the combined state (the worst SLO wins; each state
+// requires both of its windows over the threshold).
+func (w *sloWatchdog) evaluate() (SLOStatus, int) {
+	nowSec := w.now().Unix()
+	w.mu.Lock()
+	tS, shS, adS, slS := w.window(nowSec, w.cfg.ShortWindow)
+	tL, shL, adL, slL := w.window(nowSec, w.cfg.LongWindow)
+	w.mu.Unlock()
+
+	st := SLOStatus{
+		ShedBurnShort:    burn(shS, tS, w.cfg.ShedBudget),
+		ShedBurnLong:     burn(shL, tL, w.cfg.ShedBudget),
+		LatencyBurnShort: burn(slS, adS, w.cfg.LatencyBudget),
+		LatencyBurnLong:  burn(slL, adL, w.cfg.LatencyBudget),
+	}
+	code := sloOK
+	grade := func(short, long float64) int {
+		switch {
+		case short >= w.cfg.PageBurn && long >= w.cfg.PageBurn:
+			return sloPage
+		case short >= w.cfg.WarnBurn && long >= w.cfg.WarnBurn:
+			return sloWarn
+		}
+		return sloOK
+	}
+	if g := grade(st.ShedBurnShort, st.ShedBurnLong); g > code {
+		code = g
+	}
+	if g := grade(st.LatencyBurnShort, st.LatencyBurnLong); g > code {
+		code = g
+	}
+	st.State = sloStateName(code)
+	return st, code
+}
+
+// current returns a freshly evaluated status (no caching — evaluation
+// is a scan over at most an hour of one-second buckets).
+func (w *sloWatchdog) current() SLOStatus {
+	st, _ := w.evaluate()
+	return st
+}
+
+// publish evaluates and pushes the state and burn gauges into m.
+func (w *sloWatchdog) publish(m *serverMetrics) SLOStatus {
+	st, code := w.evaluate()
+	m.sloState.Set(int64(code))
+	m.sloBurn.With("shed", "short").Set(int64(st.ShedBurnShort * 1000))
+	m.sloBurn.With("shed", "long").Set(int64(st.ShedBurnLong * 1000))
+	m.sloBurn.With("latency", "short").Set(int64(st.LatencyBurnShort * 1000))
+	m.sloBurn.With("latency", "long").Set(int64(st.LatencyBurnLong * 1000))
+	return st
+}
+
+// run is the watchdog goroutine: re-evaluate once per second until
+// stop closes (drain).
+func (w *sloWatchdog) run(stop <-chan struct{}, m *serverMetrics) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			w.publish(m)
+		}
+	}
+}
