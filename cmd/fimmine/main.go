@@ -106,6 +106,9 @@ func main() {
 	opt.MaxItemsets = *maxItemsets
 	opt.MaxDuration = *timeout
 	opt.DegradeToDiffset = *degrade
+	// When profiling, label the run's samples (fim_algo, fim_rep,
+	// fim_phase) so `go tool pprof -tagfocus` can slice by phase.
+	opt.ProfileLabels = *cpuProfile != ""
 
 	// Observer sinks: progress printer (stderr), JSON-lines event file,
 	// and a report builder feeding -report and the HTTP endpoint.

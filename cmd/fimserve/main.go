@@ -16,6 +16,18 @@
 //	                      queue/run/request histograms, pool, kernel
 //	                      roll-ups, SLO burn state)
 //	GET  /debug/flight    the flight recorder's last-runs dump
+//	GET  /debug/incidents      captured incident bundles (summaries)
+//	GET  /debug/incidents/{id} one full fimserve-incident/v1 bundle
+//
+// A continuous CPU profiler runs always-on in fixed windows
+// (-prof-window), and every mining run executes under pprof labels
+// (fim_run_id, fim_tenant, fim_algo, fim_rep, fim_phase), so any CPU
+// profile taken from the daemon attributes samples to runs and phases.
+// When the SLO watchdog transitions into warn or page, a worker
+// panics, or the shared pool stops a run, the incident engine bundles
+// the flight dump, paired /metrics scrapes, the covering CPU window, a
+// goroutine dump and a heap profile (rate-limited by
+// -incident-cooldown, persisted to -incident-dir).
 //
 // Requests carry a tenant in the X-Tenant header ("anon" if absent).
 // On SIGTERM/SIGINT the daemon stops admitting, drains in-flight runs
@@ -56,6 +68,9 @@ func main() {
 		report      = flag.String("report", "", "write a JSON shutdown report (stats + recent runs) to this file on exit")
 		flight      = flag.String("flight", "", "write the flight-recorder dump (fimserve-flight/v1) to this file on drain, and <file>.panic on a worker panic")
 		tenantCard  = flag.Int("tenant-series", 32, "distinct tenant label values in /metrics before folding into \"other\"")
+		profWindow  = flag.Duration("prof-window", time.Minute, "continuous profiler window length (negative disables)")
+		incCooldown = flag.Duration("incident-cooldown", 5*time.Minute, "minimum spacing between incident bundles")
+		incDir      = flag.String("incident-dir", "", "persist each incident bundle to <dir>/incident-<id>.json")
 	)
 	flag.Parse()
 
@@ -75,6 +90,10 @@ func main() {
 		DrainGrace:     *drainGrace,
 		TenantSeries:   *tenantCard,
 		FlightPath:     *flight,
+
+		ProfileWindow:    *profWindow,
+		IncidentCooldown: *incCooldown,
+		IncidentDir:      *incDir,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

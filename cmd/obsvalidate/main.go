@@ -2,8 +2,10 @@
 // schemas: a JSON-lines event stream (fimmine -events), a run report
 // (fimmine -report, fim-run-report/v1), a benchmark result file
 // (fimbench -json, fim-bench/v1), a span timeline (fimmine -trace,
-// Chrome trace-event JSON), and Prometheus text-exposition scrapes
-// (fimserve GET /metrics). When both -events and -trace are given, it
+// Chrome trace-event JSON), Prometheus text-exposition scrapes
+// (fimserve GET /metrics), and incident bundles (fimserve
+// GET /debug/incidents/{id} or -incident-dir files,
+// fimserve-incident/v1). When both -events and -trace are given, it
 // also cross-checks the trace's per-worker chunk-span totals against
 // the event stream's phase_end load metrics (within 5%); when both
 // -metrics and -metrics2 are given (two scrapes of the same target, in
@@ -25,14 +27,18 @@
 //	7  trace/events busy-time cross-check failed
 //	8  metrics scrape invalid (parse, histogram consistency, or
 //	   counter monotonicity between -metrics and -metrics2)
+//	9  incident bundle invalid (envelope, embedded flight dump,
+//	   paired scrapes, goroutine dump, or pprof profiles)
 //
 // Usage:
 //
 //	obsvalidate -events run.jsonl -report run.json -trace run.trace.json -bench results/BENCH_bench.json
 //	obsvalidate -metrics scrape1.prom -metrics2 scrape2.prom
+//	obsvalidate -incident incident-1.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +46,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/export"
 	"repro/internal/obs/metrics"
+	"repro/internal/serve"
 )
 
 // Exit codes, one per validator class.
@@ -53,6 +60,7 @@ const (
 	exitTrace    = 6
 	exitCrossChk = 7
 	exitMetrics  = 8
+	exitIncident = 9
 )
 
 // crossCheckTol matches the acceptance bound: span totals and
@@ -67,10 +75,11 @@ func main() {
 	tracePath := flag.String("trace", "", "Chrome trace-event JSON timeline to validate")
 	metricsPath := flag.String("metrics", "", "Prometheus text-exposition scrape to validate")
 	metrics2Path := flag.String("metrics2", "", "later scrape of the same target, checked monotone against -metrics")
+	incidentPath := flag.String("incident", "", "fimserve-incident/v1 bundle to validate")
 	flag.Parse()
 
-	if *eventsPath == "" && *reportPath == "" && *benchPath == "" && *tracePath == "" && *metricsPath == "" {
-		fmt.Fprintln(os.Stderr, "obsvalidate: nothing to validate (pass -events, -report, -bench, -trace and/or -metrics)")
+	if *eventsPath == "" && *reportPath == "" && *benchPath == "" && *tracePath == "" && *metricsPath == "" && *incidentPath == "" {
+		fmt.Fprintln(os.Stderr, "obsvalidate: nothing to validate (pass -events, -report, -bench, -trace, -metrics and/or -incident)")
 		os.Exit(exitUsage)
 	}
 	if *metrics2Path != "" && *metricsPath == "" {
@@ -159,6 +168,26 @@ func main() {
 				*metrics2Path, len(second.Values), *metricsPath)
 			checked++
 		}
+	}
+	if *incidentPath != "" {
+		data, err := os.ReadFile(*incidentPath)
+		if err != nil {
+			fail(exitIO, *incidentPath, err)
+		}
+		var b serve.IncidentBundle
+		if err := json.Unmarshal(data, &b); err != nil {
+			fail(exitIncident, *incidentPath, err)
+		}
+		if err := serve.ValidateIncident(b); err != nil {
+			fail(exitIncident, *incidentPath, err)
+		}
+		profNote := fmt.Sprintf("%d-byte cpu window", len(b.CPUProfile))
+		if len(b.CPUProfile) == 0 {
+			profNote = "no cpu window (profiler disabled or skipped)"
+		}
+		fmt.Printf("%s: %s #%d reason %q, %d flight runs, %s, bundle valid\n",
+			*incidentPath, b.Schema, b.ID, b.Reason, len(b.Flight.Runs), profNote)
+		checked++
 	}
 	fmt.Printf("obsvalidate: %d artifact(s) valid\n", checked)
 }

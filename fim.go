@@ -45,6 +45,7 @@ import (
 	"repro/internal/kcount"
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
 	"repro/internal/perf"
 	"repro/internal/runctl"
 	"repro/internal/sched"
@@ -207,6 +208,17 @@ type Options struct {
 	// registry ID so /metrics anomalies, flight-recorder entries, traces
 	// and reports join on one key.
 	RunID int64
+	// ProfileLabels attaches pprof goroutine labels to the run: every
+	// CPU-profile sample taken while the run executes carries fim_run_id
+	// (when RunID is set), fim_tenant (when Tenant is set), fim_algo,
+	// fim_rep and fim_phase — the current level_start phase name — so
+	// `go tool pprof` can slice a service or CLI profile by run and by
+	// search phase. Worker goroutines inherit the labels at spawn; the
+	// cost is one label update per level, nothing per sample.
+	ProfileLabels bool
+	// Tenant is the requesting tenant for the fim_tenant profile label.
+	// Only consulted when ProfileLabels is set.
+	Tenant string
 	// SpanTrace, when non-nil, records the run's span timeline: the run
 	// and every level/class stage on a coordinator row, every scheduler
 	// chunk on its worker's row, with real start times and durations.
@@ -352,6 +364,15 @@ func MineAbsoluteContext(ctx context.Context, db *DB, minSupport int, opt Option
 	if opt.SpanTrace != nil {
 		o = obs.Multi(o, opt.SpanTrace)
 	}
+	// The phase labeler rides the event stream too: level_start events
+	// are emitted on the coordinator goroutine before each expansion's
+	// worker teams spawn, which is exactly where a pprof label update
+	// must land for the workers to inherit it.
+	var phaser *prof.PhaseLabeler
+	if opt.ProfileLabels {
+		phaser = prof.NewPhaseLabeler()
+		o = obs.Multi(o, phaser)
+	}
 	if opt.RunID != 0 {
 		o = obs.WithRunID(o, opt.RunID)
 	}
@@ -393,13 +414,31 @@ func MineAbsoluteContext(ctx context.Context, db *DB, minSupport int, opt Option
 	start := time.Now()
 	var res *Result
 	var err error
-	switch opt.Algorithm {
-	case core.Apriori:
-		res, err = apriori.Mine(rec, minSupport, copt)
-	case core.Eclat:
-		res, err = eclat.Mine(rec, minSupport, copt)
-	case core.FPGrowth:
-		res, err = fpgrowth.Mine(rec, minSupport, copt)
+	runMine := func() {
+		switch opt.Algorithm {
+		case core.Apriori:
+			res, err = apriori.Mine(rec, minSupport, copt)
+		case core.Eclat:
+			res, err = eclat.Mine(rec, minSupport, copt)
+		case core.FPGrowth:
+			res, err = fpgrowth.Mine(rec, minSupport, copt)
+		}
+	}
+	if opt.ProfileLabels {
+		// Every CPU sample of the run — coordinator and inherited worker
+		// goroutines alike — carries the run identity; the labeler keeps
+		// fim_phase current as levels open.
+		prof.Do(ctx, prof.RunLabels{
+			RunID:  opt.RunID,
+			Tenant: opt.Tenant,
+			Algo:   opt.Algorithm.String(),
+			Rep:    opt.Representation.String(),
+		}, func(lctx context.Context) {
+			phaser.Arm(lctx)
+			runMine()
+		})
+	} else {
+		runMine()
 	}
 	if o != nil {
 		// Flush scheduler loops that finished after the last level

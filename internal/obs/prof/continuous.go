@@ -1,0 +1,221 @@
+// The continuous profiler: an always-on background loop that keeps a
+// small ring of fixed-window CPU profiles, so a profile *covering* an
+// incident already exists when the incident is noticed — no "reproduce
+// it with profiling on" step. The cost model is the standard one for
+// continuous profiling: Go's CPU profiler samples at a fixed 100 Hz
+// regardless of how long the window is, so the steady-state overhead is
+// the sampling cost (single-digit percent at worst, gated <2% in CI
+// like the metrics event tap), and the retention cost is bounded by the
+// ring.
+package prof
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ContinuousConfig tunes the continuous profiler. Zero fields get
+// defaults.
+type ContinuousConfig struct {
+	// Window is one profile's duration. Default 60s; floored at 10ms.
+	Window time.Duration
+	// Ring is how many completed windows are retained. Default 4.
+	Ring int
+}
+
+func (c ContinuousConfig) withDefaults() ContinuousConfig {
+	if c.Window <= 0 {
+		c.Window = time.Minute
+	}
+	if c.Window < 10*time.Millisecond {
+		c.Window = 10 * time.Millisecond
+	}
+	if c.Ring <= 0 {
+		c.Ring = 4
+	}
+	return c
+}
+
+// Window is one completed (or cut-short) profile window: the covered
+// interval and the gzipped pprof protobuf bytes.
+type Window struct {
+	StartUnixNS int64  `json:"start_unix_ns"`
+	EndUnixNS   int64  `json:"end_unix_ns"`
+	Profile     []byte `json:"profile"`
+}
+
+// Continuous is the profiler. Construct with NewContinuous, call Start
+// once, Stop on the way out. The process-wide CPU profiler is exclusive:
+// if something else (another Continuous, a -cpuprofile flag) holds it, a
+// window is skipped and counted rather than failing the owner — the
+// profiler degrades to "no coverage" instead of taking the process down
+// with it.
+type Continuous struct {
+	cfg ContinuousConfig
+
+	mu   sync.Mutex
+	ring []Window
+	next int
+	full bool
+
+	cutCh               chan chan Window
+	stopCh              chan struct{}
+	doneCh              chan struct{}
+	started             atomic.Bool
+	startOnce, stopOnce sync.Once
+	skipped             atomic.Int64
+}
+
+// NewContinuous returns a stopped profiler.
+func NewContinuous(cfg ContinuousConfig) *Continuous {
+	cfg = cfg.withDefaults()
+	return &Continuous{
+		cfg:    cfg,
+		ring:   make([]Window, cfg.Ring),
+		cutCh:  make(chan chan Window),
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}
+}
+
+// Start launches the background window loop. Safe to call once; later
+// calls are no-ops.
+func (c *Continuous) Start() {
+	c.startOnce.Do(func() {
+		c.started.Store(true)
+		go c.loop()
+	})
+}
+
+// Stop ends the loop, discarding the in-flight partial window, and
+// releases the process CPU profiler. Idempotent; safe before Start.
+func (c *Continuous) Stop() {
+	c.stopOnce.Do(func() {
+		if !c.started.Load() {
+			close(c.doneCh)
+			return
+		}
+		close(c.stopCh)
+		<-c.doneCh
+	})
+}
+
+// Cut ends the current window early, files it into the ring, and
+// returns it — the incident engine's "give me the profile covering
+// right now". The second return is false when no profile is available
+// (profiler not started, or every recent window was skipped because the
+// process profiler was held elsewhere); the caller then falls back to
+// the newest retained window, if any.
+func (c *Continuous) Cut() (Window, bool) {
+	if !c.started.Load() {
+		return c.latest()
+	}
+	reply := make(chan Window, 1)
+	select {
+	case c.cutCh <- reply:
+		w := <-reply
+		if len(w.Profile) == 0 {
+			return c.latest()
+		}
+		return w, true
+	case <-c.doneCh:
+		return c.latest()
+	}
+}
+
+// latest returns the newest retained window.
+func (c *Continuous) latest() (Window, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx := c.next - 1
+	if idx < 0 {
+		if !c.full {
+			return Window{}, false
+		}
+		idx = len(c.ring) - 1
+	}
+	w := c.ring[idx]
+	return w, len(w.Profile) > 0
+}
+
+// Windows returns the retained windows, oldest first.
+func (c *Continuous) Windows() []Window {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Window
+	if c.full {
+		out = append(out, c.ring[c.next:]...)
+	}
+	for _, w := range c.ring[:c.next] {
+		if len(w.Profile) > 0 {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Skipped reports how many windows could not start because the process
+// CPU profiler was held by someone else.
+func (c *Continuous) Skipped() int64 { return c.skipped.Load() }
+
+// file puts a completed window into the ring.
+func (c *Continuous) file(w Window) {
+	c.mu.Lock()
+	c.ring[c.next] = w
+	c.next++
+	if c.next == len(c.ring) {
+		c.next, c.full = 0, true
+	}
+	c.mu.Unlock()
+}
+
+// loop runs fixed windows back to back: start the profiler into a
+// buffer, wait out the window (or a cut, or stop), rotate. A failed
+// StartCPUProfile — the profiler is process-exclusive — skips that
+// window but keeps the loop alive, so coverage resumes as soon as the
+// other holder lets go.
+func (c *Continuous) loop() {
+	defer close(c.doneCh)
+	timer := time.NewTimer(c.cfg.Window)
+	defer timer.Stop()
+	for {
+		var buf bytes.Buffer
+		running := pprof.StartCPUProfile(&buf) == nil
+		if !running {
+			c.skipped.Add(1)
+		}
+		start := time.Now().UnixNano()
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(c.cfg.Window)
+
+		select {
+		case <-c.stopCh:
+			if running {
+				pprof.StopCPUProfile()
+				c.file(Window{StartUnixNS: start, EndUnixNS: time.Now().UnixNano(), Profile: buf.Bytes()})
+			}
+			return
+		case reply := <-c.cutCh:
+			var w Window
+			if running {
+				pprof.StopCPUProfile()
+				w = Window{StartUnixNS: start, EndUnixNS: time.Now().UnixNano(), Profile: buf.Bytes()}
+				c.file(w)
+			}
+			reply <- w
+		case <-timer.C:
+			if running {
+				pprof.StopCPUProfile()
+				c.file(Window{StartUnixNS: start, EndUnixNS: time.Now().UnixNano(), Profile: buf.Bytes()})
+			}
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// A dependency-free reader for the slice of the pprof protobuf format
+// the incident machinery needs: enough to verify that a profile parses
+// and to enumerate the label key→values present on its samples. The
+// full profile schema lives in github.com/google/pprof; pulling that in
+// for two assertions would be the tail wagging the dog, and the wire
+// format is stable (proto3: Profile.sample = 2, Profile.string_table =
+// 6; Sample.label = 3; Label.key = 1, Label.str = 2, both indices into
+// the string table).
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// protoField is one decoded field: its number, wire type, varint value
+// (wire type 0) or bytes (wire type 2).
+type protoField struct {
+	num  int
+	wire int
+	vi   uint64
+	b    []byte
+}
+
+// protoFields walks one protobuf message, calling fn per field. It
+// understands just enough of the wire format to skip what it does not
+// care about.
+func protoFields(buf []byte, fn func(protoField) error) error {
+	for len(buf) > 0 {
+		key, n := uvarint(buf)
+		if n <= 0 {
+			return errors.New("pprof: bad field key")
+		}
+		buf = buf[n:]
+		f := protoField{num: int(key >> 3), wire: int(key & 7)}
+		switch f.wire {
+		case 0: // varint
+			v, n := uvarint(buf)
+			if n <= 0 {
+				return errors.New("pprof: bad varint")
+			}
+			f.vi = v
+			buf = buf[n:]
+		case 1: // 64-bit
+			if len(buf) < 8 {
+				return errors.New("pprof: short fixed64")
+			}
+			buf = buf[8:]
+		case 2: // length-delimited
+			l, n := uvarint(buf)
+			if n <= 0 || uint64(len(buf)-n) < l {
+				return errors.New("pprof: bad length")
+			}
+			f.b = buf[n : n+int(l)]
+			buf = buf[n+int(l):]
+		case 5: // 32-bit
+			if len(buf) < 4 {
+				return errors.New("pprof: short fixed32")
+			}
+			buf = buf[4:]
+		default:
+			return fmt.Errorf("pprof: unsupported wire type %d", f.wire)
+		}
+		if err := fn(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// uvarint decodes a varint; n <= 0 means malformed.
+func uvarint(buf []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(buf) && i < 10; i++ {
+		b := buf[i]
+		v |= uint64(b&0x7f) << (7 * i)
+		if b < 0x80 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}
+
+// gunzipProfile undoes pprof's gzip framing; raw (already-inflated)
+// bytes pass through.
+func gunzipProfile(b []byte) ([]byte, error) {
+	if len(b) < 2 || b[0] != 0x1f || b[1] != 0x8b {
+		return b, nil
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	return io.ReadAll(zr)
+}
+
+// LabelValues returns the string-label sets present on a profile's
+// samples: key → the set of values observed, e.g.
+// LabelValues(p)["fim_run_id"]["17"]. The profile may be gzipped (as
+// runtime/pprof writes it) or raw.
+func LabelValues(profile []byte) (map[string]map[string]bool, error) {
+	raw, err := gunzipProfile(profile)
+	if err != nil {
+		return nil, fmt.Errorf("pprof: gunzip: %w", err)
+	}
+	var strings []string
+	type ref struct{ key, str uint64 }
+	var refs []ref
+	err = protoFields(raw, func(f protoField) error {
+		switch {
+		case f.num == 6 && f.wire == 2: // string_table
+			strings = append(strings, string(f.b))
+		case f.num == 2 && f.wire == 2: // sample
+			return protoFields(f.b, func(sf protoField) error {
+				if sf.num != 3 || sf.wire != 2 { // label
+					return nil
+				}
+				var r ref
+				if err := protoFields(sf.b, func(lf protoField) error {
+					switch lf.num {
+					case 1:
+						r.key = lf.vi
+					case 2:
+						r.str = lf.vi
+					}
+					return nil
+				}); err != nil {
+					return err
+				}
+				if r.key != 0 && r.str != 0 {
+					refs = append(refs, r)
+				}
+				return nil
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]map[string]bool)
+	for _, r := range refs {
+		if r.key >= uint64(len(strings)) || r.str >= uint64(len(strings)) {
+			return nil, fmt.Errorf("pprof: label string index out of range (%d, %d of %d)", r.key, r.str, len(strings))
+		}
+		k, v := strings[r.key], strings[r.str]
+		if out[k] == nil {
+			out[k] = make(map[string]bool)
+		}
+		out[k][v] = true
+	}
+	return out, nil
+}
+
+// CheckProfile verifies that b parses as a pprof profile (gzipped or
+// raw): the validator's "is this really a profile" check for incident
+// bundles. Works for CPU and heap profiles alike.
+func CheckProfile(b []byte) error {
+	if len(b) == 0 {
+		return errors.New("pprof: empty profile")
+	}
+	raw, err := gunzipProfile(b)
+	if err != nil {
+		return fmt.Errorf("pprof: gunzip: %w", err)
+	}
+	fields := 0
+	if err := protoFields(raw, func(protoField) error { fields++; return nil }); err != nil {
+		return err
+	}
+	if fields == 0 {
+		return errors.New("pprof: no fields decoded")
+	}
+	return nil
+}

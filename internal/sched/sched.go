@@ -408,6 +408,13 @@ func (t *Team) ForCtx(rc *runctl.Control, n int, s Schedule, body func(worker, i
 
 // runLoop drives a prepared chunker on the team and returns the loop's
 // outcome — the shared tail of ForCtx and ForWeightedCtx.
+//
+// Worker goroutines are spawned fresh per loop, which is what makes
+// per-run/per-phase pprof attribution free: goroutines inherit the
+// spawner's pprof label set, so when the coordinator carries
+// fim_run_id/fim_phase labels (internal/obs/prof, set at each
+// level_start), every worker's CPU samples are labeled with no
+// scheduler plumbing at all.
 func (t *Team) runLoop(ls *loopState, p int, ch Chunker, body func(worker, i int)) error {
 	if p == 1 {
 		ls.runWorker(0, ch, body)

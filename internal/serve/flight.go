@@ -31,7 +31,7 @@ type flightTrace struct {
 // (oldest first) and the sampled timelines.
 type FlightDump struct {
 	Schema          string        `json:"schema"`
-	Reason          string        `json:"reason"` // drain | panic | request
+	Reason          string        `json:"reason"` // drain | panic | request | incident
 	GeneratedUnixNS int64         `json:"generated_unix_ns"`
 	Runs            []RunInfo     `json:"runs"`
 	Traces          []flightTrace `json:"traces,omitempty"`

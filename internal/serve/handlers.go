@@ -29,6 +29,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.Handle("GET /metrics", s.met.reg.Handler())
 	s.mux.HandleFunc("GET /debug/flight", s.handleFlight)
+	s.mux.HandleFunc("GET /debug/incidents", s.handleIncidents)
+	s.mux.HandleFunc("GET /debug/incidents/{id}", s.handleIncident)
 }
 
 // mineRequest is a parsed, validated, budget-clamped /mine request.
@@ -447,6 +449,8 @@ func (s *Server) runLeader(r *http.Request, mr *mineRequest, ck cacheKey) *runOu
 		Workers:          mr.workers,
 		Observer:         fim.MultiObserver(bc, s.met.tap()),
 		RunID:            base.RunID,
+		ProfileLabels:    true,
+		Tenant:           mr.tenant,
 		SpanTrace:        tr,
 		MaxMemoryBytes:   mr.maxMemory,
 		MaxItemsets:      mr.maxItemsets,
@@ -475,12 +479,45 @@ func (s *Server) runLeader(r *http.Request, mr *mineRequest, ck cacheKey) *runOu
 	})
 	s.flight.record(info)
 	s.flight.addTrace(info.ID, tr)
-	if out.stopReason == "worker-panic" && s.cfg.FlightPath != "" {
-		// A contained panic is exactly what the flight recorder exists
-		// for: snapshot now, to a side file the drain dump won't clobber.
-		_ = s.flight.writeFile(s.cfg.FlightPath+".panic", "panic")
+	switch out.stopReason {
+	case "worker-panic":
+		if s.cfg.FlightPath != "" {
+			// A contained panic is exactly what the flight recorder exists
+			// for: snapshot now, to a side file the drain dump won't clobber.
+			_ = s.flight.writeFile(s.cfg.FlightPath+".panic", "panic")
+		}
+		s.incidents.trigger(IncidentWorkerPanic, out.body.Error, info.ID)
+	case "budget:shared-memory":
+		// The machine-wide pool stopped this run: the footprint wall the
+		// paper's §V-A predicts, worth a heap profile while it's hot.
+		s.incidents.trigger(IncidentPoolBreach, out.body.Error, info.ID)
 	}
 	return out
+}
+
+// handleIncidents lists the retained incident bundles (oldest first).
+func (s *Server) handleIncidents(w http.ResponseWriter, r *http.Request) {
+	list := s.incidents.list()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":     len(list),
+		"captured":  s.incidents.count(),
+		"incidents": list,
+	})
+}
+
+// handleIncident serves one full bundle by ID.
+func (s *Server) handleIncident(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad incident id %q", r.PathValue("id"))
+		return
+	}
+	b, ok := s.incidents.get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "incident %d not found (the ring keeps the last %d)", id, s.cfg.IncidentRing)
+		return
+	}
+	writeJSON(w, http.StatusOK, b)
 }
 
 func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,340 @@
+// The incident engine: the piece that closes the detect→diagnose loop.
+// PR 7 gave the service a pager (the SLO burn-rate watchdog) and a
+// black box (the flight recorder); this subscribes to the pager — and
+// to contained worker panics and shared-pool breaches — and on trigger
+// assembles everything an operator needs to answer the page into one
+// fimserve-incident/v1 bundle: the flight dump, a pair of /metrics
+// scrapes bracketing the lead-up, the continuous profiler's CPU window
+// covering it, a goroutine dump, a heap profile, and the SLO window
+// state. Bundles are cooldown rate-limited (an incident storm produces
+// one bundle, not a bundle storm), held in a ring at
+// GET /debug/incidents, and optionally persisted to -incident-dir.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs/metrics"
+	"repro/internal/obs/prof"
+)
+
+// incidentSchema versions the bundle format.
+const incidentSchema = "fimserve-incident/v1"
+
+// Incident trigger reasons.
+const (
+	// IncidentSLOWarn / IncidentSLOPage: the SLO watchdog transitioned
+	// up into warn / page.
+	IncidentSLOWarn = "slo-warn"
+	IncidentSLOPage = "slo-page"
+	// IncidentWorkerPanic: a mining worker panicked (contained to its
+	// run, but a bug worth a diagnosis bundle).
+	IncidentWorkerPanic = "worker-panic"
+	// IncidentPoolBreach: a run was stopped by the machine-wide shared
+	// memory pool — the paper's §V-A footprint wall, hit in production.
+	IncidentPoolBreach = "pool-breach"
+)
+
+// IncidentBundle is one captured incident: everything assembled at
+// trigger time. Profile fields are pprof protobuf bytes (gzipped, as
+// the runtime writes them; base64 in JSON).
+type IncidentBundle struct {
+	Schema          string `json:"schema"`
+	ID              int64  `json:"id"`
+	Reason          string `json:"reason"`
+	Detail          string `json:"detail,omitempty"`
+	RunID           int64  `json:"run_id,omitempty"` // offending run, when attributable
+	GeneratedUnixNS int64  `json:"generated_unix_ns"`
+
+	SLO    SLOStatus  `json:"slo"`
+	Flight FlightDump `json:"flight"`
+
+	// MetricsBefore is the engine's periodic background scrape (the last
+	// one before the trigger); MetricsAt is rendered at trigger time.
+	// Together they bracket the lead-up, and every counter must be
+	// monotone between them.
+	MetricsBefore string `json:"metrics_before"`
+	MetricsAt     string `json:"metrics_at"`
+
+	// CPUProfile is the continuous profiler's window covering the
+	// trigger (cut short at trigger time). Empty when the profiler was
+	// disabled (ProfilerDisabled) or its windows were skipped because
+	// another holder had the process profiler (ProfilerSkipped counts).
+	CPUProfile            []byte `json:"cpu_profile,omitempty"`
+	CPUProfileStartUnixNS int64  `json:"cpu_profile_start_unix_ns,omitempty"`
+	CPUProfileEndUnixNS   int64  `json:"cpu_profile_end_unix_ns,omitempty"`
+	ProfilerSkipped       int64  `json:"profiler_skipped_windows,omitempty"`
+	ProfilerDisabled      bool   `json:"profiler_disabled,omitempty"`
+
+	Goroutines  string `json:"goroutines"`
+	HeapProfile []byte `json:"heap_profile,omitempty"`
+}
+
+// IncidentSummary is the /debug/incidents list entry.
+type IncidentSummary struct {
+	ID              int64  `json:"id"`
+	Reason          string `json:"reason"`
+	Detail          string `json:"detail,omitempty"`
+	RunID           int64  `json:"run_id,omitempty"`
+	GeneratedUnixNS int64  `json:"generated_unix_ns"`
+	SLOState        string `json:"slo_state"`
+}
+
+// incidentEngine subscribes to the server's failure signals and turns
+// them into bundles. now is injectable for tests.
+type incidentEngine struct {
+	s        *Server
+	cooldown time.Duration
+	dir      string
+	now      func() time.Time
+
+	mu     sync.Mutex
+	ring   []IncidentBundle
+	next   int
+	full   bool
+	nextID int64
+	lastAt time.Time
+
+	// The background scrape cache: MetricsBefore for the next bundle.
+	scrapeMu   sync.Mutex
+	lastScrape string
+}
+
+func newIncidentEngine(s *Server, cooldown time.Duration, ring int, dir string) *incidentEngine {
+	return &incidentEngine{
+		s:        s,
+		cooldown: cooldown,
+		dir:      dir,
+		now:      time.Now,
+		ring:     make([]IncidentBundle, ring),
+	}
+}
+
+// run is the engine's background goroutine: it refreshes the
+// MetricsBefore scrape cache every 30s (and once at start) so a
+// trigger always has a recent "before" to pair with its "at".
+func (e *incidentEngine) run(stop <-chan struct{}) {
+	e.snapshotScrape()
+	t := time.NewTicker(30 * time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			e.snapshotScrape()
+		}
+	}
+}
+
+func (e *incidentEngine) snapshotScrape() {
+	var buf bytes.Buffer
+	if err := e.s.met.reg.WriteText(&buf); err != nil {
+		return
+	}
+	e.scrapeMu.Lock()
+	e.lastScrape = buf.String()
+	e.scrapeMu.Unlock()
+}
+
+// trigger fires one incident: if the cooldown allows, assemble and file
+// a bundle; otherwise count the suppression. runID is the offending run
+// when the trigger is attributable to one (panic, pool breach), zero
+// for service-level triggers (SLO transitions).
+func (e *incidentEngine) trigger(reason, detail string, runID int64) {
+	now := e.now()
+	e.mu.Lock()
+	if !e.lastAt.IsZero() && now.Sub(e.lastAt) < e.cooldown {
+		e.mu.Unlock()
+		e.s.met.incidentsSuppressed.Inc()
+		return
+	}
+	// Reserve the slot before the (slow) assembly so concurrent triggers
+	// in the same storm are suppressed, not queued.
+	e.lastAt = now
+	e.nextID++
+	id := e.nextID
+	e.mu.Unlock()
+
+	b := e.assemble(id, reason, detail, runID, now)
+
+	e.mu.Lock()
+	e.ring[e.next] = b
+	e.next++
+	if e.next == len(e.ring) {
+		e.next, e.full = 0, true
+	}
+	e.mu.Unlock()
+
+	e.s.met.incidents.With(reason).Inc()
+	if e.dir != "" {
+		e.persist(b)
+	}
+}
+
+// assemble captures the bundle contents at trigger time.
+func (e *incidentEngine) assemble(id int64, reason, detail string, runID int64, now time.Time) IncidentBundle {
+	b := IncidentBundle{
+		Schema:          incidentSchema,
+		ID:              id,
+		Reason:          reason,
+		Detail:          detail,
+		RunID:           runID,
+		GeneratedUnixNS: now.UnixNano(),
+		SLO:             e.s.slo.current(),
+		Flight:          e.s.flight.dump("incident"),
+		Goroutines:      string(prof.GoroutineDump()),
+	}
+	var buf bytes.Buffer
+	if err := e.s.met.reg.WriteText(&buf); err == nil {
+		b.MetricsAt = buf.String()
+	}
+	e.scrapeMu.Lock()
+	b.MetricsBefore = e.lastScrape
+	e.scrapeMu.Unlock()
+	if b.MetricsBefore == "" {
+		// No background scrape yet: pair the trigger scrape with itself
+		// (trivially monotone) rather than shipping an unpaired bundle.
+		b.MetricsBefore = b.MetricsAt
+	}
+	if e.s.prof != nil {
+		if w, ok := e.s.prof.Cut(); ok {
+			b.CPUProfile = w.Profile
+			b.CPUProfileStartUnixNS = w.StartUnixNS
+			b.CPUProfileEndUnixNS = w.EndUnixNS
+		}
+		b.ProfilerSkipped = e.s.prof.Skipped()
+	} else {
+		b.ProfilerDisabled = true
+	}
+	if hp, err := prof.HeapProfile(); err == nil {
+		b.HeapProfile = hp
+	}
+	return b
+}
+
+// persist writes the bundle to <dir>/incident-<id>.json.
+func (e *incidentEngine) persist(b IncidentBundle) {
+	if err := os.MkdirAll(e.dir, 0o755); err != nil {
+		return
+	}
+	data, err := json.MarshalIndent(b, "", " ")
+	if err != nil {
+		return
+	}
+	path := filepath.Join(e.dir, fmt.Sprintf("incident-%d.json", b.ID))
+	_ = os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// list snapshots the retained bundles' summaries, oldest first.
+func (e *incidentEngine) list() []IncidentSummary {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	bs := unring(e.ring, e.next, e.full, func(b IncidentBundle) bool { return b.ID == 0 })
+	out := make([]IncidentSummary, len(bs))
+	for i, b := range bs {
+		out[i] = IncidentSummary{
+			ID: b.ID, Reason: b.Reason, Detail: b.Detail, RunID: b.RunID,
+			GeneratedUnixNS: b.GeneratedUnixNS, SLOState: b.SLO.State,
+		}
+	}
+	return out
+}
+
+// get returns a retained bundle by ID.
+func (e *incidentEngine) get(id int64) (IncidentBundle, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := range e.ring {
+		if e.ring[i].ID == id {
+			return e.ring[i], true
+		}
+	}
+	return IncidentBundle{}, false
+}
+
+// count returns how many bundles have been captured (not suppressed).
+func (e *incidentEngine) count() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.nextID
+}
+
+// incidentReasons is the closed set ValidateIncident accepts.
+var incidentReasons = map[string]bool{
+	IncidentSLOWarn: true, IncidentSLOPage: true,
+	IncidentWorkerPanic: true, IncidentPoolBreach: true,
+}
+
+// ValidateIncident checks a bundle's schema and internal consistency —
+// the obsvalidate -incident class. It verifies the envelope, the flight
+// dump, that both metrics scrapes parse and validate with every counter
+// monotone from before to at, that the goroutine dump is a goroutine
+// dump, and that the CPU and heap profiles parse as pprof protobufs
+// (the CPU profile may only be absent when the profiler was disabled
+// or reported skipped windows).
+func ValidateIncident(b IncidentBundle) error {
+	if b.Schema != incidentSchema {
+		return fmt.Errorf("schema %q, want %q", b.Schema, incidentSchema)
+	}
+	if b.ID < 1 {
+		return fmt.Errorf("bad incident id %d", b.ID)
+	}
+	if !incidentReasons[b.Reason] {
+		return fmt.Errorf("unknown incident reason %q", b.Reason)
+	}
+	if b.GeneratedUnixNS <= 0 {
+		return errors.New("missing generated_unix_ns")
+	}
+	if b.Flight.Schema != flightSchema {
+		return fmt.Errorf("flight dump schema %q, want %q", b.Flight.Schema, flightSchema)
+	}
+	if b.Flight.Reason != "incident" {
+		return fmt.Errorf("flight dump reason %q, want %q", b.Flight.Reason, "incident")
+	}
+	before, err := metrics.ParseText(strings.NewReader(b.MetricsBefore))
+	if err != nil {
+		return fmt.Errorf("metrics_before: %w", err)
+	}
+	if err := before.Validate(); err != nil {
+		return fmt.Errorf("metrics_before: %w", err)
+	}
+	at, err := metrics.ParseText(strings.NewReader(b.MetricsAt))
+	if err != nil {
+		return fmt.Errorf("metrics_at: %w", err)
+	}
+	if err := at.Validate(); err != nil {
+		return fmt.Errorf("metrics_at: %w", err)
+	}
+	if err := metrics.CheckMonotonic(before, at); err != nil {
+		return fmt.Errorf("metrics_before → metrics_at: %w", err)
+	}
+	if !strings.Contains(b.Goroutines, "goroutine ") {
+		return errors.New("goroutines field is not a goroutine dump")
+	}
+	if len(b.CPUProfile) > 0 {
+		if err := prof.CheckProfile(b.CPUProfile); err != nil {
+			return fmt.Errorf("cpu_profile: %w", err)
+		}
+		if b.CPUProfileEndUnixNS < b.CPUProfileStartUnixNS || b.CPUProfileStartUnixNS <= 0 {
+			return fmt.Errorf("cpu_profile window [%d, %d] not sane",
+				b.CPUProfileStartUnixNS, b.CPUProfileEndUnixNS)
+		}
+	} else if b.ProfilerSkipped == 0 && !b.ProfilerDisabled {
+		return errors.New("no cpu_profile, and neither skipped windows nor a disabled profiler to explain it")
+	}
+	if len(b.HeapProfile) > 0 {
+		if err := prof.CheckProfile(b.HeapProfile); err != nil {
+			return fmt.Errorf("heap_profile: %w", err)
+		}
+	}
+	return nil
+}

@@ -12,15 +12,15 @@ import (
 // per-tenant series, and /stats. Every /mine request ends in exactly
 // one of these.
 const (
-	outcomeAdmitted  = "admitted"         // took a worker slot and ran
-	outcomeShed      = "shed"             // bounded queue full: 429
-	outcomeQuota     = "quota"            // per-tenant cap: 429
-	outcomeCoalesced = "coalesced"        // single-flight follower
-	outcomeCacheHit  = "cache_hit"        // exact-threshold cache answer
-	outcomeFiltered  = "cache_filter_hit" // lower-minsup entry filtered up
-	outcomeAbandoned  = "abandoned"       // client gone / drain while queued
-	outcomeDrained    = "drain_rejected"  // 503, server draining
-	outcomeBadRequest = "bad_request"     // failed validation, never queued
+	outcomeAdmitted   = "admitted"         // took a worker slot and ran
+	outcomeShed       = "shed"             // bounded queue full: 429
+	outcomeQuota      = "quota"            // per-tenant cap: 429
+	outcomeCoalesced  = "coalesced"        // single-flight follower
+	outcomeCacheHit   = "cache_hit"        // exact-threshold cache answer
+	outcomeFiltered   = "cache_filter_hit" // lower-minsup entry filtered up
+	outcomeAbandoned  = "abandoned"        // client gone / drain while queued
+	outcomeDrained    = "drain_rejected"   // 503, server draining
+	outcomeBadRequest = "bad_request"      // failed validation, never queued
 )
 
 // Histogram bounds. Queue waits are short (a slot frees in one run
@@ -53,6 +53,9 @@ type serverMetrics struct {
 	sloBurn  *metrics.GaugeVec // fimserve_slo_burn_rate{slo,window}
 
 	flightSampled *metrics.Counter // fimserve_flight_traces_sampled_total
+
+	incidents           *metrics.CounterVec // fimserve_incidents_total{reason}
+	incidentsSuppressed *metrics.Counter    // fimserve_incidents_suppressed_total
 }
 
 // newServerMetrics registers the serving stack's families. tenantCap
@@ -101,6 +104,14 @@ func newServerMetrics(s *Server, tenantCap int) *serverMetrics {
 
 	m.flightSampled = reg.Counter("fimserve_flight_traces_sampled_total",
 		"Runs that carried a sampled flight-recorder trace timeline.")
+
+	m.incidents = reg.CounterVec("fimserve_incidents_total",
+		"Incident bundles captured, by trigger reason.", "reason")
+	m.incidentsSuppressed = reg.Counter("fimserve_incidents_suppressed_total",
+		"Incident triggers suppressed by the cooldown.")
+
+	registerHealthGauges(reg)
+	registerBuildInfo(reg)
 
 	// Live gauges read their owners at scrape time — the same sources
 	// /stats and /readyz report.

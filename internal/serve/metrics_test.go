@@ -333,7 +333,9 @@ func TestMetricsOverhead(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(Config{})
+	// ProfileWindow -1: this gate isolates the event tap's cost; the
+	// continuous profiler has its own gate (prof.TestProfilerOverhead).
+	s := New(Config{ProfileWindow: -1})
 	// Support 0.2 makes each rep a ~2s mine: long enough that the tap's
 	// per-event cost is measurable against it, short enough that 10 reps
 	// fit a CI step.

@@ -31,6 +31,7 @@ package serve
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -38,6 +39,7 @@ import (
 
 	fim "repro"
 	"repro/internal/dataset"
+	"repro/internal/obs/prof"
 )
 
 // Config tunes the service. The zero value is unusable; fill what you
@@ -97,6 +99,24 @@ type Config struct {
 	FlightPath string
 	// SLO tunes the burn-rate watchdog; zero fields get defaults.
 	SLO SLOConfig
+	// ProfileWindow is the continuous profiler's window length (one CPU
+	// profile per window, ProfileRing retained). Default 60s; negative
+	// disables the profiler (incident bundles then ship without a CPU
+	// profile).
+	ProfileWindow time.Duration
+	// ProfileRing is how many completed profile windows are retained.
+	// Default 4.
+	ProfileRing int
+	// IncidentCooldown is the minimum spacing between incident bundles;
+	// triggers inside it are counted as suppressed, not captured — an
+	// incident storm produces one bundle. Default 5m.
+	IncidentCooldown time.Duration
+	// IncidentRing is how many incident bundles /debug/incidents
+	// retains. Default 16.
+	IncidentRing int
+	// IncidentDir, when non-empty, persists each bundle to
+	// <dir>/incident-<id>.json as it is captured.
+	IncidentDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -155,6 +175,18 @@ func (c Config) withDefaults() Config {
 	if c.FlightSampleEvery <= 0 {
 		c.FlightSampleEvery = 8
 	}
+	if c.ProfileWindow == 0 {
+		c.ProfileWindow = time.Minute
+	}
+	if c.ProfileRing <= 0 {
+		c.ProfileRing = 4
+	}
+	if c.IncidentCooldown <= 0 {
+		c.IncidentCooldown = 5 * time.Minute
+	}
+	if c.IncidentRing <= 0 {
+		c.IncidentRing = 16
+	}
 	c.SLO = c.SLO.withDefaults()
 	return c
 }
@@ -175,6 +207,11 @@ type Server struct {
 	met    *serverMetrics
 	flight *flightRecorder
 	slo    *sloWatchdog
+	// prof is the continuous profiler (nil when disabled); incidents is
+	// the engine that turns SLO transitions, worker panics and pool
+	// breaches into diagnosis bundles.
+	prof      *prof.Continuous
+	incidents *incidentEngine
 
 	draining atomic.Bool
 	drainCh  chan struct{} // closed when draining starts
@@ -202,7 +239,32 @@ func New(cfg Config) *Server {
 	}
 	s.met = newServerMetrics(s, cfg.TenantSeries)
 	s.cache = newResultCache(cfg.CacheBytes, newCacheMetrics(s.met.reg))
+	if cfg.ProfileWindow > 0 {
+		s.prof = prof.NewContinuous(prof.ContinuousConfig{
+			Window: cfg.ProfileWindow,
+			Ring:   cfg.ProfileRing,
+		})
+		s.prof.Start()
+	}
+	s.incidents = newIncidentEngine(s, cfg.IncidentCooldown, cfg.IncidentRing, cfg.IncidentDir)
+	// The watchdog's upward transitions are incident triggers: entering
+	// warn or page means the service just started failing its
+	// objectives, which is exactly when the evidence should be captured.
+	s.slo.onTransition = func(from, to int, st SLOStatus) {
+		if to <= from || to == sloOK {
+			return
+		}
+		reason := IncidentSLOWarn
+		if to == sloPage {
+			reason = IncidentSLOPage
+		}
+		s.incidents.trigger(reason, fmt.Sprintf(
+			"slo %s→%s: shed burn %.1f/%.1f, latency burn %.1f/%.1f (short/long x1)",
+			sloStateName(from), sloStateName(to),
+			st.ShedBurnShort, st.ShedBurnLong, st.LatencyBurnShort, st.LatencyBurnLong), 0)
+	}
 	go s.slo.run(s.drainCh, s.met)
+	go s.incidents.run(s.drainCh)
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
@@ -242,6 +304,11 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.draining.Store(true)
 		s.inflightMu.Unlock()
 		close(s.drainCh)
+		if s.prof != nil {
+			// Release the process CPU profiler; retained windows stay
+			// readable for a post-drain incident fetch.
+			s.prof.Stop()
+		}
 	})
 	// Drop the flight recording on the way out: by the time Drain
 	// returns, every in-flight run that was going to finish has been

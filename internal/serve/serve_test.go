@@ -55,7 +55,18 @@ func gateSentinelRuns(t *testing.T, gate chan struct{}) {
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
+	if cfg.ProfileWindow == 0 {
+		// The process CPU profiler is exclusive; a default-config test
+		// server would hold it for the whole test binary. Tests that want
+		// the continuous profiler opt in explicitly.
+		cfg.ProfileWindow = -1
+	}
 	s := New(cfg)
+	t.Cleanup(func() {
+		if s.prof != nil {
+			s.prof.Stop()
+		}
+	})
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts

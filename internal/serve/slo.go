@@ -106,6 +106,12 @@ type sloWatchdog struct {
 	cfg SLOConfig
 	now func() time.Time
 
+	// onTransition, when set, is called from publish whenever the state
+	// code changes, with the previous and new codes — the incident
+	// engine's subscription. Called from the watchdog goroutine.
+	onTransition func(from, to int, st SLOStatus)
+	lastCode     int
+
 	mu      sync.Mutex
 	buckets []sloBucket // ring indexed by unix-second % len
 }
@@ -215,7 +221,10 @@ func (w *sloWatchdog) current() SLOStatus {
 	return st
 }
 
-// publish evaluates and pushes the state and burn gauges into m.
+// publish evaluates and pushes the state and burn gauges into m, and
+// fires the transition callback on state changes (edge-triggered: the
+// incident engine wants "we just entered warn/page", not a re-trigger
+// per evaluation while the state holds).
 func (w *sloWatchdog) publish(m *serverMetrics) SLOStatus {
 	st, code := w.evaluate()
 	m.sloState.Set(int64(code))
@@ -223,6 +232,13 @@ func (w *sloWatchdog) publish(m *serverMetrics) SLOStatus {
 	m.sloBurn.With("shed", "long").Set(int64(st.ShedBurnLong * 1000))
 	m.sloBurn.With("latency", "short").Set(int64(st.LatencyBurnShort * 1000))
 	m.sloBurn.With("latency", "long").Set(int64(st.LatencyBurnLong * 1000))
+	if code != w.lastCode {
+		from := w.lastCode
+		w.lastCode = code
+		if w.onTransition != nil {
+			w.onTransition(from, code, st)
+		}
+	}
 	return st
 }
 
