@@ -14,6 +14,7 @@
 //	benchdiff -tolerance 3 -history results/BENCH_history.jsonl baseline.json new.json
 //	benchdiff -ignore-sched dynamic.json steal.json
 //	benchdiff -ignore-batch batched.json pairwise.json
+//	benchdiff -ignore-layout flat.json tiled.json
 //
 // -ignore-sched strips the schedule from every cell before diffing, so
 // a file measured under one schedule (fimbench -json ... -sched steal)
@@ -21,7 +22,9 @@
 // -ignore-batch does the same for the batch mode, so a pairwise file
 // (fimbench -json ... -batch off) compares cell-for-cell against a
 // batched baseline — the exact-itemset check then proves the two
-// combine paths mine identical sets.
+// combine paths mine identical sets. -ignore-layout does the same for
+// the tidset memory layout, so a tiled file (fimbench -json ...
+// -layout tiled) compares cell-for-cell against a flat baseline.
 //
 // With -history, the newest file's cells are appended as one line of the
 // append-only fim-bench-history/v1 JSONL log (written even when the gate
@@ -45,8 +48,9 @@ func main() {
 	label := flag.String("label", "", "label for the history entry (e.g. a git ref)")
 	ignoreSched := flag.Bool("ignore-sched", false, "collapse schedule variants onto their base cells before diffing (e.g. steal file vs default baseline)")
 	ignoreBatch := flag.Bool("ignore-batch", false, "collapse batch-mode variants onto their base cells before diffing (e.g. -batch off file vs batched baseline)")
+	ignoreLayout := flag.Bool("ignore-layout", false, "collapse tidset-layout variants onto their base cells before diffing (e.g. -layout tiled file vs flat baseline)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance R] [-history FILE] [-label S] [-ignore-sched] [-ignore-batch] baseline.json new.json...")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance R] [-history FILE] [-label S] [-ignore-sched] [-ignore-batch] [-ignore-layout] baseline.json new.json...")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -76,6 +80,9 @@ func main() {
 		}
 		if *ignoreBatch {
 			export.StripBatch(files[i])
+		}
+		if *ignoreLayout {
+			export.StripLayout(files[i])
 		}
 	}
 

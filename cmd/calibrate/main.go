@@ -30,9 +30,15 @@ func mustMine(res *core.Result, err error) *core.Result {
 func main() {
 	only := flag.String("only", "", "restrict to one dataset")
 	gallop := flag.Bool("gallop", false, "re-time the tidset merge-vs-gallop crossover on this host and exit")
+	tiles := flag.Bool("tiles", false, "re-time the tiled layout's sparse/dense crossover and tile-width kernels on this host and exit")
+	write := flag.String("write", "", "with -tiles: also write the derived calibration JSON to this path (load via -calibration or FIM_CALIBRATION)")
 	flag.Parse()
 	if *gallop {
 		calibrateGallop()
+		return
+	}
+	if *tiles {
+		calibrateTiles(*write)
 		return
 	}
 	cfg := machine.Blacklight()

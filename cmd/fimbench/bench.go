@@ -13,23 +13,43 @@ import (
 // benchConfigs is the standardized real-hardware benchmark matrix: the
 // paper's two dense datasets at their default supports, the preferred
 // configuration of each algorithm family, plus Eclat under the
-// work-stealing schedule (its cells carry schedule "steal", so they
-// never collide with the default-schedule cells). Frozen so
-// BENCH_*.json files from different commits stay comparable.
+// work-stealing schedule and the tidset cells under the tiled layout
+// (variant cells carry schedule "steal" / layout "tiled", so they
+// never collide with the default cells). Frozen so BENCH_*.json files
+// from different commits stay comparable.
 var benchConfigs = []struct {
-	algo  fim.Algorithm
-	rep   fim.Representation
-	sched string // "" = the algorithm's default schedule
+	algo   fim.Algorithm
+	rep    fim.Representation
+	sched  string // "" = the algorithm's default schedule
+	layout string // "" = the representation's flat default
 }{
-	{fim.Apriori, fim.Diffset, ""},
-	{fim.Apriori, fim.Tidset, ""},
-	{fim.Apriori, fim.Bitvector, ""},
-	{fim.Eclat, fim.Diffset, ""},
-	{fim.FPGrowth, fim.Diffset, ""},
-	{fim.Eclat, fim.Diffset, "steal"},
+	{fim.Apriori, fim.Diffset, "", ""},
+	{fim.Apriori, fim.Tidset, "", ""},
+	{fim.Apriori, fim.Bitvector, "", ""},
+	{fim.Eclat, fim.Diffset, "", ""},
+	{fim.Eclat, fim.Tidset, "", ""},
+	{fim.FPGrowth, fim.Diffset, "", ""},
+	{fim.Eclat, fim.Diffset, "steal", ""},
+	{fim.Eclat, fim.Tidset, "", "tiled"},
+	{fim.Apriori, fim.Tidset, "", "tiled"},
 }
 
 var benchDatasets = []string{"chess", "mushroom"}
+
+// loadCalibration applies the kernel calibration file named by the
+// -calibration flag, falling back to the FIM_CALIBRATION environment
+// variable, falling back to the compiled-in defaults. Calibration is
+// speed-only — it never changes which itemsets are mined — so bench
+// cells stay comparable across calibrated hosts.
+func loadCalibration(path string) error {
+	if path != "" {
+		return fim.LoadCalibration(path)
+	}
+	if env := os.Getenv(fim.CalibrationEnv); env != "" {
+		return fim.LoadCalibration(env)
+	}
+	return nil
+}
 
 // runBenchJSON runs the standardized suite on the host (real wall
 // clock, not the simulator) and writes a fim-bench/v1 document to path.
@@ -48,7 +68,14 @@ var benchDatasets = []string{"chess", "mushroom"}
 // records batch "off" per cell; diffing such a file against a default
 // baseline (benchdiff -ignore-batch) is the batching A/B, with the
 // exact-itemset check proving the two modes mine identical sets.
-func runBenchJSON(path string, names []string, threads []int, scale float64, reps int, schedOverride string, batchOff bool) error {
+//
+// A non-empty layoutOverride runs only the default-layout configs,
+// each under that tidset layout where it applies (configs whose
+// representation has no such layout are skipped), with the layout
+// recorded per cell — the way to produce a tiled-layout file to diff
+// against a flat baseline (benchdiff -ignore-layout), whose
+// exact-itemset check proves the two layouts mine identical sets.
+func runBenchJSON(path string, names []string, threads []int, scale float64, reps int, schedOverride string, batchOff bool, layoutOverride string) error {
 	if len(threads) == 0 {
 		threads = []int{1, 2, 4}
 	}
@@ -73,12 +100,30 @@ func runBenchJSON(path string, names []string, threads []int, scale float64, rep
 				}
 				schedName = schedOverride
 			}
+			layoutName := c.layout
+			if layoutOverride != "" {
+				if c.layout != "" {
+					continue // override replaces the variant cells
+				}
+				layoutName = layoutOverride
+			}
+			effRep := c.rep
+			if layoutName != "" {
+				var lerr error
+				effRep, lerr = fim.ApplyLayout(c.rep, layoutName)
+				if lerr != nil {
+					if layoutOverride != "" {
+						continue // override only applies where the layout exists
+					}
+					return fmt.Errorf("fimbench: %w", lerr)
+				}
+			}
 			for _, th := range threads {
 				for rep := 1; rep <= reps; rep++ {
 					b := export.NewReportBuilder()
 					opt := fim.Options{
 						Algorithm:      c.algo,
-						Representation: c.rep,
+						Representation: effRep,
 						Workers:        th,
 						Observer:       b,
 						DisableBatch:   batchOff,
@@ -107,6 +152,7 @@ func runBenchJSON(path string, names []string, threads []int, scale float64, rep
 						Representation: c.rep.String(),
 						Schedule:       schedName,
 						Batch:          batchName,
+						Layout:         layoutName,
 						Threads:        th,
 						Rep:            rep,
 						WallSeconds:    wall.Seconds(),
@@ -116,6 +162,9 @@ func runBenchJSON(path string, names []string, threads []int, scale float64, rep
 					sm := ""
 					if schedName != "" {
 						sm = "@" + schedName
+					}
+					if layoutName != "" {
+						sm += "%" + layoutName
 					}
 					fmt.Fprintf(os.Stderr, "bench %s %s/%s%s x%d rep%d: %.3fs peak=%d itemsets=%d\n",
 						name, c.algo, c.rep, sm, th, rep, wall.Seconds(), report.PeakLiveBytes, res.Len())

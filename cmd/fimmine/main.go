@@ -47,7 +47,9 @@ func main() {
 	scale := flag.Float64("scale", 1, "synthetic dataset scale factor")
 	support := flag.Float64("support", 0.5, "relative minimum support (0..1]")
 	algoName := flag.String("algo", "eclat", "algorithm: apriori, eclat, fpgrowth")
-	repName := flag.String("rep", "diffset", "representation: tidset, bitvector, diffset, hybrid")
+	repName := flag.String("rep", "diffset", "representation: tidset, bitvector, diffset, hybrid, tiled")
+	layout := flag.String("layout", "", "tidset memory layout: tiled, flat (default: the representation as given)")
+	calibPath := flag.String("calibration", "", "per-host kernel calibration file from `calibrate -write` (default: $"+fim.CalibrationEnv+", else compiled-in)")
 	workers := flag.Int("workers", 1, "parallel workers")
 	freqOrder := flag.Bool("freq-order", false, "recode items in ascending support order")
 	depth := flag.Int("depth", 0, "Eclat flattening depth (0 = default)")
@@ -72,6 +74,10 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	flag.Parse()
 
+	if err := loadCalibration(*calibPath); err != nil {
+		fatal(err)
+	}
+
 	db, err := loadDB(*file, *dsName, *scale)
 	if err != nil {
 		fatal(err)
@@ -82,6 +88,9 @@ func main() {
 		fatal(err)
 	}
 	if opt.Representation, err = parseRep(*repName); err != nil {
+		fatal(err)
+	}
+	if opt.Representation, err = fim.ApplyLayout(opt.Representation, *layout); err != nil {
 		fatal(err)
 	}
 	opt.Workers = *workers
@@ -313,8 +322,22 @@ func parseRep(s string) (fim.Representation, error) {
 		return fim.Diffset, nil
 	case "hybrid":
 		return fim.Hybrid, nil
+	case "tiled":
+		return fim.Tiled, nil
 	}
 	return 0, fmt.Errorf("fimmine: unknown representation %q", s)
+}
+
+// loadCalibration installs per-host kernel knobs: the -calibration flag
+// wins, else the FIM_CALIBRATION env var, else compiled-in defaults.
+func loadCalibration(path string) error {
+	if path != "" {
+		return fim.LoadCalibration(path)
+	}
+	if env := os.Getenv(fim.CalibrationEnv); env != "" {
+		return fim.LoadCalibration(env)
+	}
+	return nil
 }
 
 func decodeAll(res *fim.Result, cs []fim.ItemsetCount) []fim.ItemsetCount {

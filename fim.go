@@ -49,6 +49,7 @@ import (
 	"repro/internal/perf"
 	"repro/internal/runctl"
 	"repro/internal/sched"
+	"repro/internal/tidset"
 	"repro/internal/vertical"
 )
 
@@ -65,14 +66,42 @@ const (
 // Representation selects the vertical transaction layout.
 type Representation = vertical.Kind
 
-// The paper's three vertical representations, plus the Hybrid extension
-// (Zaki's dEclat switch-over: tidsets that become diffsets when smaller).
+// The paper's three vertical representations, plus two extensions: the
+// Hybrid switch-over (Zaki's dEclat: tidsets that become diffsets when
+// smaller) and the Tiled layout (tidset semantics over fixed 128-TID
+// tiles with occupancy-summary prefilters and a per-tile sparse/dense
+// payload switch; see internal/tidset's Tiled type).
 const (
 	Tidset    = vertical.Tidset
 	Bitvector = vertical.Bitvector
 	Diffset   = vertical.Diffset
 	Hybrid    = vertical.Hybrid
+	Tiled     = vertical.Tiled
 )
+
+// ApplyLayout resolves a "-layout tiled|flat" selector against a
+// representation: "tiled" switches Tidset to the tiled layout (and
+// rejects representations without a tiled form), "flat" switches Tiled
+// back, and "" is the identity. Layout never changes mining semantics —
+// tiled and flat runs produce byte-identical itemsets.
+func ApplyLayout(rep Representation, layout string) (Representation, error) {
+	return vertical.WithLayout(rep, layout)
+}
+
+// LoadCalibration applies a per-host kernel calibration file (knobs
+// like the merge/gallop crossover and the tiled sparse/dense crossover,
+// produced by cmd/calibrate). The env var named by CalibrationEnv is
+// honored automatically by the shipped binaries; embedders call this
+// directly. All knobs are speed dials only — results are identical for
+// any legal calibration.
+func LoadCalibration(path string) error {
+	_, err := tidset.LoadCalibrationFile(path)
+	return err
+}
+
+// CalibrationEnv is the environment variable naming a calibration file
+// (see LoadCalibration).
+const CalibrationEnv = tidset.CalibrationEnv
 
 // Re-exported core types. See the respective internal packages for the
 // full method sets.

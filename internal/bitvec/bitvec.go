@@ -146,6 +146,15 @@ func (v *Vector) AndCount(u *Vector) int {
 // prefix block.
 const andTileWords = 512
 
+// stripSparseMax is the sparse/dense switch of the strip classifier: a
+// parent strip with at most this many nonzero words takes the sparse
+// path, which ANDs only those word positions for every child (the
+// positions fit a stack array, so classification allocates nothing).
+// Deep in the search the resident parent's support collapses while its
+// vector keeps paying for the full universe — exactly the regime where
+// most strips are all-zero or nearly so.
+const stripSparseMax = 32
+
 // AndManyInto stores px AND pys[j] into outs[j] and the popcount of
 // that result into sups[j], for every j. All vectors must share px's
 // length; len(outs) and len(sups) must equal len(pys). The loop is
@@ -154,6 +163,14 @@ const andTileWords = 512
 // before eviction, so the parent streams from memory once per block
 // instead of once per child — and the popcount is fused into the same
 // pass, where the pairwise AndInto+Count path takes two.
+//
+// Each parent strip is classified before the children stream, the same
+// sparse/dense tile dispatch as the tiled tidset layout: an all-zero
+// strip just clears every child's strip (tiles_skipped), a strip with
+// ≤ stripSparseMax nonzero words ANDs only those positions
+// (tiles_sparse), and only genuinely dense strips stream word-for-word
+// (tiles_dense). The words_anded counter records the words actually
+// touched, so the saving is visible in the evidence trail.
 func AndManyInto(px *Vector, pys, outs []*Vector, sups []int) {
 	m := len(pys)
 	if m == 0 {
@@ -165,26 +182,71 @@ func AndManyInto(px *Vector, pys, outs []*Vector, sups []int) {
 		sups[j] = 0
 	}
 	nw := len(px.words)
-	tiles := 0
+	tiles, skipped, sparse, dense := 0, 0, 0, 0
+	wordsANDed := 0
+	var nz [stripSparseMax]int32
 	for lo := 0; lo < nw; lo += andTileWords {
 		hi := min(lo+andTileWords, nw)
 		pw := px.words[lo:hi]
-		for j := range pys {
-			yw := pys[j].words[lo:hi]
-			ow := outs[j].words[lo:hi]
-			c := 0
-			for k, p := range pw {
-				w := p & yw[k]
-				ow[k] = w
-				c += bits.OnesCount64(w)
-			}
-			sups[j] += c
-		}
 		tiles++
+
+		// Classify the parent strip: positions of its nonzero words,
+		// bailing to the dense path past stripSparseMax.
+		nnz := 0
+		for k, p := range pw {
+			if p != 0 {
+				if nnz == stripSparseMax {
+					nnz = -1
+					break
+				}
+				nz[nnz] = int32(k)
+				nnz++
+			}
+		}
+		switch {
+		case nnz == 0:
+			// Nothing of the parent survives here: every child's out
+			// strip is zero, no AND, no popcount. (Out strips must
+			// still be written — recycled vectors carry stale bits.)
+			skipped++
+			for j := range pys {
+				clear(outs[j].words[lo:hi])
+			}
+		case nnz > 0:
+			sparse++
+			wordsANDed += nnz * m
+			for j := range pys {
+				yw := pys[j].words[lo:hi]
+				ow := outs[j].words[lo:hi]
+				clear(ow)
+				c := 0
+				for _, k := range nz[:nnz] {
+					w := pw[k] & yw[k]
+					ow[k] = w
+					c += bits.OnesCount64(w)
+				}
+				sups[j] += c
+			}
+		default:
+			dense++
+			wordsANDed += len(pw) * m
+			for j := range pys {
+				yw := pys[j].words[lo:hi]
+				ow := outs[j].words[lo:hi]
+				c := 0
+				for k, p := range pw {
+					w := p & yw[k]
+					ow[k] = w
+					c += bits.OnesCount64(w)
+				}
+				sups[j] += c
+			}
+		}
 	}
-	kcount.AddWordsANDed(nw * m)
-	kcount.AddWordsPopcounted(nw * m)
+	kcount.AddWordsANDed(wordsANDed)
+	kcount.AddWordsPopcounted(wordsANDed)
 	kcount.AddTiles(tiles)
+	kcount.AddStripKinds(skipped, sparse, dense)
 	kcount.AddBatch(m, nw)
 }
 

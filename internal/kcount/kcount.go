@@ -31,12 +31,13 @@ const (
 	Bitvector
 	Diffset
 	Hybrid
+	Tiled
 	numKinds
 )
 
 // kindNames are the wire names used by Stats.Map, matching
 // vertical.Kind.String().
-var kindNames = [numKinds]string{"tidset", "bitvector", "diffset", "hybrid"}
+var kindNames = [numKinds]string{"tidset", "bitvector", "diffset", "hybrid", "tiled"}
 
 // Stats is a snapshot of the counters. The zero value is empty;
 // Sub produces the delta between two snapshots.
@@ -84,6 +85,20 @@ type Stats struct {
 	// kernel streamed (one tile ANDed+popcounted against every child of
 	// the run before eviction).
 	TilesProcessed int64
+	// SummaryWordsANDed counts the 64-bit occupancy-summary ANDs of the
+	// tiled layout's prefilter phase: one per key-aligned tile pair.
+	// Comparing it against TidsCompared/WordsANDed for the same mine
+	// shows how much traffic the prefilter stands in front of.
+	SummaryWordsANDed int64
+	// TilesSkipped counts key-aligned tile pairs whose summary AND came
+	// back zero, so the in-tile kernel never ran — the tiled layout's
+	// analogue of parent_words_saved. TilesSparse and TilesDense count
+	// the pairs that did run, split by which in-tile kernel fired
+	// (sparse u8 merge/probe vs. branch-free bitmap AND); the same
+	// split is charged by bitvec.AndManyInto's strip classifier.
+	TilesSkipped int64
+	TilesSparse  int64
+	TilesDense   int64
 }
 
 // Sub returns s − prev, field-wise.
@@ -101,6 +116,11 @@ func (s Stats) Sub(prev Stats) Stats {
 		BatchCalls:       s.BatchCalls - prev.BatchCalls,
 		ParentWordsSaved: s.ParentWordsSaved - prev.ParentWordsSaved,
 		TilesProcessed:   s.TilesProcessed - prev.TilesProcessed,
+
+		SummaryWordsANDed: s.SummaryWordsANDed - prev.SummaryWordsANDed,
+		TilesSkipped:      s.TilesSkipped - prev.TilesSkipped,
+		TilesSparse:       s.TilesSparse - prev.TilesSparse,
+		TilesDense:        s.TilesDense - prev.TilesDense,
 	}
 	for k := 0; k < numKinds; k++ {
 		d.NodesBuilt[k] = s.NodesBuilt[k] - prev.NodesBuilt[k]
@@ -131,6 +151,10 @@ func (s Stats) Map() map[string]int64 {
 	put("batch_calls", s.BatchCalls)
 	put("parent_words_saved", s.ParentWordsSaved)
 	put("tiles_processed", s.TilesProcessed)
+	put("summary_words_anded", s.SummaryWordsANDed)
+	put("tiles_skipped", s.TilesSkipped)
+	put("tiles_sparse", s.TilesSparse)
+	put("tiles_dense", s.TilesDense)
 	for k := 0; k < numKinds; k++ {
 		put("nodes_built_"+kindNames[k], s.NodesBuilt[k])
 		put("bytes_materialized_"+kindNames[k], s.BytesMaterialized[k])
@@ -153,6 +177,10 @@ type counters struct {
 	batchCalls      atomic.Int64
 	parentSaved     atomic.Int64
 	tilesProcessed  atomic.Int64
+	summaryANDed    atomic.Int64
+	tilesSkipped    atomic.Int64
+	tilesSparse     atomic.Int64
+	tilesDense      atomic.Int64
 	nodesBuilt      [numKinds]atomic.Int64
 	bytesMat        [numKinds]atomic.Int64
 }
@@ -239,6 +267,10 @@ func Snapshot() Stats {
 	s.BatchCalls = global.batchCalls.Load()
 	s.ParentWordsSaved = global.parentSaved.Load()
 	s.TilesProcessed = global.tilesProcessed.Load()
+	s.SummaryWordsANDed = global.summaryANDed.Load()
+	s.TilesSkipped = global.tilesSkipped.Load()
+	s.TilesSparse = global.tilesSparse.Load()
+	s.TilesDense = global.tilesDense.Load()
 	for k := 0; k < numKinds; k++ {
 		s.NodesBuilt[k] = global.nodesBuilt[k].Load()
 		s.BytesMaterialized[k] = global.bytesMat[k].Load()
@@ -327,6 +359,47 @@ func AddBatch(m, parentWords int) {
 func AddTiles(n int) {
 	if Enabled() {
 		global.tilesProcessed.Add(int64(n))
+	}
+}
+
+// AddTileKernel accounts one tiled kernel call from loop-local tallies:
+// summary prefilter word ANDs, tile pairs the prefilter skipped, and
+// tile pairs that ran the sparse vs. dense in-tile kernel. One atomic
+// round per kernel call, never per tile.
+func AddTileKernel(summaryANDs, skipped, sparse, dense int) {
+	if Enabled() {
+		if summaryANDs != 0 {
+			global.summaryANDed.Add(int64(summaryANDs))
+		}
+		if skipped != 0 {
+			global.tilesSkipped.Add(int64(skipped))
+		}
+		if sparse != 0 {
+			global.tilesSparse.Add(int64(sparse))
+		}
+		if dense != 0 {
+			global.tilesDense.Add(int64(dense))
+		}
+	}
+}
+
+// AddStripKinds accounts the strip-mined bitvector batch kernel's
+// sparse/dense classification: strips of the resident parent that were
+// entirely zero (children cleared without streaming), handled on the
+// sparse nonzero-word path, or streamed densely. Charged once per
+// AndManyInto call on the tiles_* counters so the bitvector rep shares
+// the tiled layout's evidence trail.
+func AddStripKinds(skipped, sparse, dense int) {
+	if Enabled() {
+		if skipped != 0 {
+			global.tilesSkipped.Add(int64(skipped))
+		}
+		if sparse != 0 {
+			global.tilesSparse.Add(int64(sparse))
+		}
+		if dense != 0 {
+			global.tilesDense.Add(int64(dense))
+		}
 	}
 }
 

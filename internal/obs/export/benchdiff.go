@@ -23,6 +23,7 @@ type BenchKey struct {
 	Representation string `json:"representation,omitempty"`
 	Schedule       string `json:"schedule,omitempty"`
 	Batch          string `json:"batch,omitempty"`
+	Layout         string `json:"layout,omitempty"`
 	Threads        int    `json:"threads"`
 }
 
@@ -37,6 +38,9 @@ func (k BenchKey) String() string {
 	}
 	if k.Batch != "" {
 		s += "#" + k.Batch
+	}
+	if k.Layout != "" {
+		s += "%" + k.Layout
 	}
 	return s
 }
@@ -59,7 +63,7 @@ func BenchCells(f *BenchFile) (map[BenchKey]BenchCell, error) {
 	for _, b := range f.Results {
 		k := BenchKey{Dataset: b.Dataset, Algorithm: b.Algorithm,
 			Representation: b.Representation, Schedule: b.Schedule,
-			Batch: b.Batch, Threads: b.Threads}
+			Batch: b.Batch, Layout: b.Layout, Threads: b.Threads}
 		c, ok := cells[k]
 		if !ok {
 			cells[k] = BenchCell{Wall: b.WallSeconds, Peak: b.PeakBytes, Itemsets: b.Itemsets, Reps: 1}
@@ -123,6 +127,17 @@ func StripSchedule(f *BenchFile) {
 func StripBatch(f *BenchFile) {
 	for i := range f.Results {
 		f.Results[i].Batch = ""
+	}
+}
+
+// StripLayout clears the tidset layout of every result, collapsing
+// each layout variant onto its base cell — the tiled-vs-flat A/B
+// comparison (-layout=tiled against a flat baseline). DiffBench's
+// exact-itemset check then proves the two layouts mine byte-identical
+// itemset counts on every shared cell.
+func StripLayout(f *BenchFile) {
+	for i := range f.Results {
+		f.Results[i].Layout = ""
 	}
 }
 

@@ -102,7 +102,7 @@ func (s Set) IntersectInto(t Set, dst Set) Set {
 	if len(s) == 0 {
 		return dst
 	}
-	if len(t)/len(s) >= gallopRatio {
+	if len(t)/len(s) >= gallopRatio() {
 		return gallopIntersect(s, t, dst)
 	}
 	return mergeIntersect(s, t, dst)
@@ -156,13 +156,6 @@ func GallopIntersectInto(s, t Set, dst Set) Set {
 	}
 	return gallopIntersect(s, t, dst)
 }
-
-// gallopRatio is the length disparity at which intersection switches from
-// a linear merge to exponential search over the longer operand. Re-derived
-// with `calibrate -gallop` (results/CALIBRATE_gallop.txt): galloping wins
-// from an 8x disparity up on the current host; both strategies return
-// identical sets, so the constant is purely a speed knob.
-const gallopRatio = 8
 
 // gallopIntersect intersects short s against long t by exponential +
 // binary search. The kernel counter charges one gallop pick per call

@@ -36,6 +36,7 @@ type Arena struct {
 	tidsets  []*TidsetNode
 	diffsets []*DiffsetNode
 	bitvecs  []*BitvectorNode
+	tileds   []*TiledNode
 	hits     int64
 	misses   int64
 
@@ -43,13 +44,15 @@ type Arena struct {
 	// calls so the block loop never allocates slice headers. Safe
 	// because an arena is single-worker and every call fully overwrites
 	// the first m entries before reading them.
-	batchSrc []tidset.Set
-	batchDst []tidset.Set
-	batchVec []*bitvec.Vector
-	batchOut []*bitvec.Vector
-	batchSup []int
-	nodePys  []Node
-	nodeOut  []Node
+	batchSrc      []tidset.Set
+	batchDst      []tidset.Set
+	batchVec      []*bitvec.Vector
+	batchOut      []*bitvec.Vector
+	batchSup      []int
+	batchTiledSrc []*tidset.Tiled
+	batchTiledDst []*tidset.Tiled
+	nodePys       []Node
+	nodeOut       []Node
 }
 
 // NewArena returns an empty arena.
@@ -74,6 +77,10 @@ func (a *Arena) Release(n Node) {
 	case *BitvectorNode:
 		if len(a.bitvecs) < arenaMaxFree {
 			a.bitvecs = append(a.bitvecs, c)
+		}
+	case *TiledNode:
+		if len(a.tileds) < arenaMaxFree {
+			a.tileds = append(a.tileds, c)
 		}
 	}
 }

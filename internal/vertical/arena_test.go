@@ -21,6 +21,8 @@ func payload(n Node) []tidset.TID {
 		return append([]tidset.TID(nil), c.Diff...)
 	case *BitvectorNode:
 		return c.Bits.TIDs()
+	case *TiledNode:
+		return c.T.ToSet()
 	}
 	panic(fmt.Sprintf("unknown node %T", n))
 }
@@ -60,8 +62,14 @@ func scribble(n Node) {
 				c.Bits.Clear(tidset.TID(i))
 			}
 		}
+	case *TiledNode:
+		c.T.Poison()
 	}
 }
+
+// intoKinds are the kinds with an IntoCombiner: the paper's three plus
+// the tiled layout (hybrid deliberately has none).
+func intoKinds() []Kind { return append(Kinds(), Tiled) }
 
 func randomRecoded(t testing.TB, rng *rand.Rand, items, txns int) *dataset.Recoded {
 	t.Helper()
@@ -128,7 +136,7 @@ func TestCombineIntoMatchesCombine(t *testing.T) {
 func TestCombineIntoNeverAliasesParents(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	rec := randomRecoded(t, rng, 7, 50)
-	for _, kind := range Kinds() {
+	for _, kind := range intoKinds() {
 		rep := New(kind).(IntoCombiner)
 		a := NewArena()
 		for round := 0; round < 3; round++ { // round > 0 uses recycled buffers
@@ -176,7 +184,7 @@ func TestCombineIntoNeverAliasesParents(t *testing.T) {
 // the local tallies.
 func TestArenaHitMissAccounting(t *testing.T) {
 	rec := exampleRecoded(t, 1)
-	for _, kind := range Kinds() {
+	for _, kind := range intoKinds() {
 		rep := New(kind).(IntoCombiner)
 		roots := New(kind).Roots(rec)
 		a := NewArena()
@@ -261,7 +269,7 @@ func benchCombineRoots(b *testing.B, kind Kind) (Representation, []Node) {
 }
 
 func BenchmarkCombine(b *testing.B) {
-	for _, kind := range Kinds() {
+	for _, kind := range intoKinds() {
 		b.Run(kind.String(), func(b *testing.B) {
 			rep, roots := benchCombineRoots(b, kind)
 			b.ReportAllocs()
@@ -274,7 +282,7 @@ func BenchmarkCombine(b *testing.B) {
 }
 
 func BenchmarkCombineInto(b *testing.B) {
-	for _, kind := range Kinds() {
+	for _, kind := range intoKinds() {
 		b.Run(kind.String(), func(b *testing.B) {
 			rep, roots := benchCombineRoots(b, kind)
 			a := NewArena()

@@ -53,7 +53,7 @@ func TestCombineManyIntoMatchesCombine(t *testing.T) {
 func TestCombineManyIntoNeverAliases(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	rec := randomRecoded(t, rng, 7, 50)
-	for _, kind := range Kinds() {
+	for _, kind := range intoKinds() {
 		rep := New(kind)
 		a := NewArena()
 		for round := 0; round < 3; round++ {
@@ -111,12 +111,66 @@ func TestCombineManyIntoNeverAliases(t *testing.T) {
 	}
 }
 
+// TestTiledLayoutMatchesFlat: the tiled layout is semantically the
+// tidset representation — every pairwise and batched combine over
+// tiled nodes yields exactly the flat kernels' sets and supports, at
+// depth 1 and again one level down, with arena recycling in between.
+// This is the vertical-level leg of the tiled×flat equivalence
+// harness (the miner-level legs cross workers/depths/schedules).
+func TestTiledLayoutMatchesFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for round := 0; round < 3; round++ {
+		rec := randomRecoded(t, rng, 8, 80)
+		flat, tiled := New(Tidset), New(Tiled)
+		fRoots, tRoots := flat.Roots(rec), tiled.Roots(rec)
+		if len(fRoots) != len(tRoots) {
+			t.Fatal("root count disagrees across layouts")
+		}
+		a := NewArena()
+		for i := range fRoots {
+			if !samePayload(payload(fRoots[i]), payload(tRoots[i])) {
+				t.Fatalf("root %d decodes differently across layouts", i)
+			}
+		}
+		// Batched level 2 under both layouts, then pairwise level 3
+		// from the batched children.
+		px, pys := fRoots[0], fRoots[1:]
+		tx, tys := tRoots[0], tRoots[1:]
+		fOut := make([]Node, len(pys))
+		tOut := make([]Node, len(tys))
+		flat.CombineManyInto(px, pys, fOut, a)
+		tiled.CombineManyInto(tx, tys, tOut, a)
+		for j := range fOut {
+			if fOut[j].Support() != tOut[j].Support() {
+				t.Fatalf("round %d child %d: support %d (flat) vs %d (tiled)",
+					round, j, fOut[j].Support(), tOut[j].Support())
+			}
+			if !samePayload(payload(fOut[j]), payload(tOut[j])) {
+				t.Fatalf("round %d child %d: layouts decode different sets", round, j)
+			}
+		}
+		for j := 1; j < len(fOut); j++ {
+			f3 := CombineWith(flat, a, fOut[0], fOut[j])
+			t3 := CombineWith(tiled, a, tOut[0], tOut[j])
+			if f3.Support() != t3.Support() || !samePayload(payload(f3), payload(t3)) {
+				t.Fatalf("round %d depth-3 pair %d: layouts disagree", round, j)
+			}
+			a.Release(f3)
+			a.Release(t3)
+		}
+		for j := range fOut {
+			a.Release(fOut[j])
+			a.Release(tOut[j])
+		}
+	}
+}
+
 // The block-combine micro-benchmark pair: one parent against its whole
 // sibling run, batched vs pairwise CombineInto, both at arena steady
 // state. The batched form is the per-block inner loop of the miners.
 
 func BenchmarkCombineManyInto(b *testing.B) {
-	for _, kind := range Kinds() {
+	for _, kind := range intoKinds() {
 		b.Run(kind.String(), func(b *testing.B) {
 			rep, roots := benchCombineRoots(b, kind)
 			px, pys := roots[0], roots[1:]
@@ -135,7 +189,7 @@ func BenchmarkCombineManyInto(b *testing.B) {
 }
 
 func BenchmarkCombinePairwiseBlock(b *testing.B) {
-	for _, kind := range Kinds() {
+	for _, kind := range intoKinds() {
 		b.Run(kind.String(), func(b *testing.B) {
 			rep, roots := benchCombineRoots(b, kind)
 			ic := rep.(IntoCombiner)

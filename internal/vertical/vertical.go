@@ -47,6 +47,8 @@ func (k Kind) String() string {
 		return "diffset"
 	case Hybrid:
 		return "hybrid"
+	case Tiled:
+		return "tiled"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -54,8 +56,9 @@ func (k Kind) String() string {
 // Kinds lists the paper's three representations, in the paper's order.
 func Kinds() []Kind { return []Kind{Tidset, Bitvector, Diffset} }
 
-// AllKinds additionally includes the Hybrid extension (see hybrid.go).
-func AllKinds() []Kind { return []Kind{Tidset, Bitvector, Diffset, Hybrid} }
+// AllKinds additionally includes the Hybrid extension (hybrid.go) and
+// the Tiled layout (tiled.go).
+func AllKinds() []Kind { return []Kind{Tidset, Bitvector, Diffset, Hybrid, Tiled} }
 
 // ParseKind maps a name ("tidset", "bitvector", "diffset") to its Kind.
 func ParseKind(s string) (Kind, error) {
@@ -68,6 +71,8 @@ func ParseKind(s string) (Kind, error) {
 		return Diffset, nil
 	case "hybrid":
 		return Hybrid, nil
+	case "tiled":
+		return Tiled, nil
 	}
 	return 0, fmt.Errorf("vertical: unknown representation %q", s)
 }
@@ -112,6 +117,8 @@ func New(kind Kind) Representation {
 		return diffsetRep{}
 	case Hybrid:
 		return hybridRep{}
+	case Tiled:
+		return tiledRep{}
 	}
 	panic(fmt.Sprintf("vertical: unknown kind %d", int(kind)))
 }
@@ -250,9 +257,12 @@ func (diffsetRep) CombineSupport(px, py Node) int {
 
 // Degradable reports whether a run over kind can degrade to diffsets
 // mid-run when its memory budget is crossed. Diffset needs no cure and
-// Hybrid already switches per node, so only the two representations the
-// paper shows blowing past one blade (§V-A) qualify.
-func Degradable(kind Kind) bool { return kind == Tidset || kind == Bitvector }
+// Hybrid already switches per node, so the representations that can
+// blow past one blade (§V-A) qualify: the paper's tidset and bitvector
+// plus the tiled layout, whose footprint tracks the tidset's.
+func Degradable(kind Kind) bool {
+	return kind == Tidset || kind == Bitvector || kind == Tiled
+}
 
 // DegradeChild converts a tidset or bitvector node into the equivalent
 // DiffsetNode relative to its generation parent: d(X) = t(parent) −
@@ -271,6 +281,10 @@ func DegradeChild(parent, child Node) Node {
 	case *BitvectorNode:
 		p := parent.(*BitvectorNode)
 		return &DiffsetNode{Diff: p.Bits.AndNot(c.Bits).TIDs(), sup: c.sup}
+	case *TiledNode:
+		p := parent.(*TiledNode)
+		d := p.T.DiffInto(c.T, &tidset.Tiled{})
+		return &DiffsetNode{Diff: d.AppendTo(nil), sup: c.T.Len()}
 	}
 	return nil
 }
@@ -284,6 +298,8 @@ func DegradeRoot(n Node, universe int) Node {
 		return &DiffsetNode{Diff: c.TIDs.Complement(universe), sup: len(c.TIDs)}
 	case *BitvectorNode:
 		return &DiffsetNode{Diff: c.Bits.Not().TIDs(), sup: c.sup}
+	case *TiledNode:
+		return &DiffsetNode{Diff: c.T.ToSet().Complement(universe), sup: c.T.Len()}
 	}
 	return nil
 }

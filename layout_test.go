@@ -1,0 +1,95 @@
+package fim
+
+// Miner-level legs of the tiled×flat equivalence harness: ApplyLayout
+// plumbing, then full mines over the real dataset comparing the tiled
+// layout against the flat tidset representation across algorithms,
+// worker counts, flattening depths, loop schedules and batch modes.
+// The vertical-level legs (payload equality per combine) live in
+// internal/vertical; here the property is end-to-end — byte-identical
+// results — because everything above the representation is supposed to
+// be layout-oblivious.
+
+import (
+	"testing"
+)
+
+func TestApplyLayout(t *testing.T) {
+	cases := []struct {
+		rep    Representation
+		layout string
+		want   Representation
+		ok     bool
+	}{
+		{Tidset, "", Tidset, true},
+		{Tidset, "tiled", Tiled, true},
+		{Tiled, "tiled", Tiled, true},
+		{Tiled, "flat", Tidset, true},
+		{Diffset, "flat", Diffset, true},
+		{Diffset, "", Diffset, true},
+		{Diffset, "tiled", 0, false},
+		{Bitvector, "tiled", 0, false},
+		{Tidset, "mosaic", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ApplyLayout(c.rep, c.layout)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("ApplyLayout(%v, %q) = %v, %v; want %v", c.rep, c.layout, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ApplyLayout(%v, %q) succeeded, want error", c.rep, c.layout)
+		}
+	}
+}
+
+// TestTiledMatchesFlatMining: every (algorithm, workers, depth,
+// schedule, batch) cell mines the identical result under the tiled and
+// flat layouts.
+func TestTiledMatchesFlatMining(t *testing.T) {
+	db := runctlDB(t)
+	steal, err := ParseSchedulePolicy("steal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type cell struct {
+		algo     Algorithm
+		workers  int
+		depth    int
+		steal    bool
+		batchOff bool
+	}
+	var cells []cell
+	for _, w := range []int{1, 4} {
+		for _, batchOff := range []bool{false, true} {
+			cells = append(cells, cell{Apriori, w, 0, false, batchOff})
+			for _, depth := range []int{0, 2} {
+				cells = append(cells, cell{Eclat, w, depth, false, batchOff})
+			}
+			cells = append(cells, cell{Eclat, w, 0, true, batchOff})
+		}
+	}
+	for _, c := range cells {
+		opt := Options{
+			Algorithm:    c.algo,
+			Workers:      c.workers,
+			EclatDepth:   c.depth,
+			DisableBatch: c.batchOff,
+		}
+		if c.steal {
+			opt.SchedulePolicy, opt.SetSchedule = steal, true
+		}
+		optFlat, optTiled := opt, opt
+		optFlat.Representation = Tidset
+		optTiled.Representation = Tiled
+		flat, err := Mine(db, 0.5, optFlat)
+		if err != nil {
+			t.Fatalf("%+v flat: %v", c, err)
+		}
+		tiled, err := Mine(db, 0.5, optTiled)
+		if err != nil {
+			t.Fatalf("%+v tiled: %v", c, err)
+		}
+		if !tiled.Equal(flat) {
+			t.Errorf("%+v: tiled layout mined a different result than flat", c)
+		}
+	}
+}

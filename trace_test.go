@@ -119,6 +119,7 @@ func TestKernelCountersEmitted(t *testing.T) {
 		{Bitvector, "words_anded"},
 		{Diffset, "tids_compared"},
 		{Hybrid, "nodes_built_hybrid"},
+		{Tiled, "summary_words_anded"},
 	}
 	for _, c := range cases {
 		_, err, events := mineRecorded(t, db, Options{
