@@ -15,6 +15,7 @@
 //	benchdiff -ignore-sched dynamic.json steal.json
 //	benchdiff -ignore-batch batched.json pairwise.json
 //	benchdiff -ignore-layout flat.json tiled.json
+//	benchdiff -ignore-rep tidset.json nodeset.json
 //
 // -ignore-sched strips the schedule from every cell before diffing, so
 // a file measured under one schedule (fimbench -json ... -sched steal)
@@ -25,6 +26,10 @@
 // combine paths mine identical sets. -ignore-layout does the same for
 // the tidset memory layout, so a tiled file (fimbench -json ...
 // -layout tiled) compares cell-for-cell against a flat baseline.
+// -ignore-rep strips the representation, so a file mined under one
+// representation (fimbench -json ... -rep nodeset) compares
+// cell-for-cell against a baseline of another — the exact-itemset
+// check proving the representations mine identical sets.
 //
 // With -history, the newest file's cells are appended as one line of the
 // append-only fim-bench-history/v1 JSONL log (written even when the gate
@@ -49,8 +54,9 @@ func main() {
 	ignoreSched := flag.Bool("ignore-sched", false, "collapse schedule variants onto their base cells before diffing (e.g. steal file vs default baseline)")
 	ignoreBatch := flag.Bool("ignore-batch", false, "collapse batch-mode variants onto their base cells before diffing (e.g. -batch off file vs batched baseline)")
 	ignoreLayout := flag.Bool("ignore-layout", false, "collapse tidset-layout variants onto their base cells before diffing (e.g. -layout tiled file vs flat baseline)")
+	ignoreRep := flag.Bool("ignore-rep", false, "collapse representations onto their (dataset, algorithm, threads) cells before diffing (e.g. -rep nodeset file vs tidset baseline)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance R] [-history FILE] [-label S] [-ignore-sched] [-ignore-batch] [-ignore-layout] baseline.json new.json...")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance R] [-history FILE] [-label S] [-ignore-sched] [-ignore-batch] [-ignore-layout] [-ignore-rep] baseline.json new.json...")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -83,6 +89,9 @@ func main() {
 		}
 		if *ignoreLayout {
 			export.StripLayout(files[i])
+		}
+		if *ignoreRep {
+			export.StripRepresentation(files[i])
 		}
 	}
 

@@ -31,7 +31,8 @@ func main() {
 	only := flag.String("only", "", "restrict to one dataset")
 	gallop := flag.Bool("gallop", false, "re-time the tidset merge-vs-gallop crossover on this host and exit")
 	tiles := flag.Bool("tiles", false, "re-time the tiled layout's sparse/dense crossover and tile-width kernels on this host and exit")
-	write := flag.String("write", "", "with -tiles: also write the derived calibration JSON to this path (load via -calibration or FIM_CALIBRATION)")
+	nodesetSweep := flag.Bool("nodeset", false, "re-time the nodeset-vs-tiled density crossover on this host and exit")
+	write := flag.String("write", "", "with -tiles or -nodeset: also write the derived calibration JSON to this path (load via -calibration or FIM_CALIBRATION)")
 	flag.Parse()
 	if *gallop {
 		calibrateGallop()
@@ -39,6 +40,10 @@ func main() {
 	}
 	if *tiles {
 		calibrateTiles(*write)
+		return
+	}
+	if *nodesetSweep {
+		calibrateNodeset(*write)
 		return
 	}
 	cfg := machine.Blacklight()

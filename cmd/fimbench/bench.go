@@ -32,6 +32,8 @@ var benchConfigs = []struct {
 	{fim.Eclat, fim.Diffset, "steal", ""},
 	{fim.Eclat, fim.Tidset, "", "tiled"},
 	{fim.Apriori, fim.Tidset, "", "tiled"},
+	{fim.Eclat, fim.Nodeset, "", ""},
+	{fim.Apriori, fim.Nodeset, "", ""},
 }
 
 var benchDatasets = []string{"chess", "mushroom"}
@@ -75,7 +77,16 @@ func loadCalibration(path string) error {
 // recorded per cell — the way to produce a tiled-layout file to diff
 // against a flat baseline (benchdiff -ignore-layout), whose
 // exact-itemset check proves the two layouts mine identical sets.
-func runBenchJSON(path string, names []string, threads []int, scale float64, reps int, schedOverride string, batchOff bool, layoutOverride string) error {
+//
+// A non-empty repOverride runs every algorithm of the default matrix
+// once under that representation — variant cells are dropped, the rep
+// dimension collapses (an algorithm appearing with several reps runs
+// once), and FP-growth is skipped because it mines from its own tree
+// and the representation is inert there. The override name is recorded
+// per cell, so diffing such a file against a baseline (benchdiff
+// -ignore-rep) is the representation A/B with the exact-itemset check
+// proving both reps mine identical sets.
+func runBenchJSON(path string, names []string, threads []int, scale float64, reps int, schedOverride string, batchOff bool, layoutOverride, repOverride string) error {
 	if len(threads) == 0 {
 		threads = []int{1, 2, 4}
 	}
@@ -85,6 +96,13 @@ func runBenchJSON(path string, names []string, threads []int, scale float64, rep
 	if len(names) == 0 {
 		names = benchDatasets
 	}
+	var repK fim.Representation
+	if repOverride != "" {
+		var rerr error
+		if repK, rerr = fim.ParseRepresentation(repOverride); rerr != nil {
+			return fmt.Errorf("fimbench: %w", rerr)
+		}
+	}
 	var results []export.Bench
 	for _, name := range names {
 		ds, err := datasets.Get(name)
@@ -92,7 +110,22 @@ func runBenchJSON(path string, names []string, threads []int, scale float64, rep
 			return err
 		}
 		db := ds.Build(scale * ds.ExperimentScale)
+		seenAlgo := map[fim.Algorithm]bool{}
 		for _, c := range benchConfigs {
+			effRep, repName := c.rep, c.rep.String()
+			if repOverride != "" {
+				if c.sched != "" || c.layout != "" {
+					continue // override replaces the variant cells
+				}
+				if c.algo == fim.FPGrowth {
+					continue // FP-growth mines from its own tree; the rep is inert
+				}
+				if seenAlgo[c.algo] {
+					continue // the rep dimension collapses under the override
+				}
+				seenAlgo[c.algo] = true
+				effRep, repName = repK, repK.String()
+			}
 			schedName := c.sched
 			if schedOverride != "" {
 				if c.sched != "" {
@@ -107,10 +140,9 @@ func runBenchJSON(path string, names []string, threads []int, scale float64, rep
 				}
 				layoutName = layoutOverride
 			}
-			effRep := c.rep
 			if layoutName != "" {
 				var lerr error
-				effRep, lerr = fim.ApplyLayout(c.rep, layoutName)
+				effRep, lerr = fim.ApplyLayout(effRep, layoutName)
 				if lerr != nil {
 					if layoutOverride != "" {
 						continue // override only applies where the layout exists
@@ -149,7 +181,7 @@ func runBenchJSON(path string, names []string, threads []int, scale float64, rep
 						Schema:         export.BenchSchema,
 						Dataset:        name,
 						Algorithm:      c.algo.String(),
-						Representation: c.rep.String(),
+						Representation: repName,
 						Schedule:       schedName,
 						Batch:          batchName,
 						Layout:         layoutName,
@@ -167,7 +199,7 @@ func runBenchJSON(path string, names []string, threads []int, scale float64, rep
 						sm += "%" + layoutName
 					}
 					fmt.Fprintf(os.Stderr, "bench %s %s/%s%s x%d rep%d: %.3fs peak=%d itemsets=%d\n",
-						name, c.algo, c.rep, sm, th, rep, wall.Seconds(), report.PeakLiveBytes, res.Len())
+						name, c.algo, repName, sm, th, rep, wall.Seconds(), report.PeakLiveBytes, res.Len())
 				}
 			}
 		}

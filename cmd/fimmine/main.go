@@ -47,7 +47,7 @@ func main() {
 	scale := flag.Float64("scale", 1, "synthetic dataset scale factor")
 	support := flag.Float64("support", 0.5, "relative minimum support (0..1]")
 	algoName := flag.String("algo", "eclat", "algorithm: apriori, eclat, fpgrowth")
-	repName := flag.String("rep", "diffset", "representation: tidset, bitvector, diffset, hybrid, tiled")
+	repName := flag.String("rep", "diffset", "representation: tidset, bitvector, diffset, hybrid, tiled, nodeset")
 	layout := flag.String("layout", "", "tidset memory layout: tiled, flat (default: the representation as given)")
 	calibPath := flag.String("calibration", "", "per-host kernel calibration file from `calibrate -write` (default: $"+fim.CalibrationEnv+", else compiled-in)")
 	workers := flag.Int("workers", 1, "parallel workers")
@@ -87,7 +87,7 @@ func main() {
 	if opt.Algorithm, err = parseAlgo(*algoName); err != nil {
 		fatal(err)
 	}
-	if opt.Representation, err = parseRep(*repName); err != nil {
+	if opt.Representation, err = fim.ParseRepresentation(*repName); err != nil {
 		fatal(err)
 	}
 	if opt.Representation, err = fim.ApplyLayout(opt.Representation, *layout); err != nil {
@@ -310,22 +310,6 @@ func parseAlgo(s string) (fim.Algorithm, error) {
 		return fim.FPGrowth, nil
 	}
 	return 0, fmt.Errorf("fimmine: unknown algorithm %q", s)
-}
-
-func parseRep(s string) (fim.Representation, error) {
-	switch s {
-	case "tidset":
-		return fim.Tidset, nil
-	case "bitvector":
-		return fim.Bitvector, nil
-	case "diffset":
-		return fim.Diffset, nil
-	case "hybrid":
-		return fim.Hybrid, nil
-	case "tiled":
-		return fim.Tiled, nil
-	}
-	return 0, fmt.Errorf("fimmine: unknown representation %q", s)
 }
 
 // loadCalibration installs per-host kernel knobs: the -calibration flag

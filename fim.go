@@ -66,18 +66,29 @@ const (
 // Representation selects the vertical transaction layout.
 type Representation = vertical.Kind
 
-// The paper's three vertical representations, plus two extensions: the
-// Hybrid switch-over (Zaki's dEclat: tidsets that become diffsets when
-// smaller) and the Tiled layout (tidset semantics over fixed 128-TID
+// The paper's three vertical representations, plus three extensions:
+// the Hybrid switch-over (Zaki's dEclat: tidsets that become diffsets
+// when smaller), the Tiled layout (tidset semantics over fixed 128-TID
 // tiles with occupancy-summary prefilters and a per-tile sparse/dense
-// payload switch; see internal/tidset's Tiled type).
+// payload switch; see internal/tidset's Tiled type), and the Nodeset
+// representation (Deng's DiffNodesets: PPC-tree node lists with linear
+// merges; see internal/nodeset).
 const (
 	Tidset    = vertical.Tidset
 	Bitvector = vertical.Bitvector
 	Diffset   = vertical.Diffset
 	Hybrid    = vertical.Hybrid
 	Tiled     = vertical.Tiled
+	Nodeset   = vertical.Nodeset
 )
+
+// ParseRepresentation maps a representation name ("tidset",
+// "bitvector", "diffset", "hybrid", "tiled", "nodeset") to its
+// Representation — the single parser every cmd shares, so a new kind
+// becomes flag-reachable by joining vertical.ParseKind alone.
+func ParseRepresentation(s string) (Representation, error) {
+	return vertical.ParseKind(s)
+}
 
 // ApplyLayout resolves a "-layout tiled|flat" selector against a
 // representation: "tiled" switches Tidset to the tiled layout (and
@@ -358,8 +369,14 @@ func MineAbsoluteContext(ctx context.Context, db *DB, minSupport int, opt Option
 	default:
 		return nil, fmt.Errorf("fim: unknown algorithm %v", opt.Algorithm)
 	}
+	// The nodeset representation always mines in frequency order: the
+	// PPC tree inserts items by descending dense code, so ascending-
+	// support codes put frequent items near the root — Deng's
+	// compressed-tree order, which both shrinks the tree and makes the
+	// class anchor the least frequent member. The order changes only
+	// internal codes; mined itemsets are identical after decoding.
 	order := dataset.ByCode
-	if opt.OrderByFrequency {
+	if opt.OrderByFrequency || opt.Representation == Nodeset {
 		order = dataset.ByFrequency
 	}
 	rec := db.RecodeOrdered(minSupport, order)

@@ -8,7 +8,10 @@
 // The implementation is the classic Han/Pei/Yin design: an FP-tree
 // (prefix tree of transactions with items in descending frequency order,
 // with per-item header chains), mined by recursively building conditional
-// pattern bases and conditional trees. Parallelism follows the same
+// pattern bases and conditional trees. The tree structure itself lives
+// in package nodeset — the PPC-tree of the DiffNodeset representation
+// is the same prefix tree under a different item order — and is shared
+// through nodeset.Tree. Parallelism follows the same
 // pattern as the paper's Eclat: the top-level loop over header items is
 // a set of independent tasks (each conditional tree is private to its
 // worker), scheduled dynamically.
@@ -23,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/itemset"
+	"repro/internal/nodeset"
 	"repro/internal/obs"
 	"repro/internal/runctl"
 	"repro/internal/sched"
@@ -32,77 +36,6 @@ import (
 // tree sizes are skewed.
 var DefaultSchedule = sched.Schedule{Policy: sched.Dynamic, Chunk: 1}
 
-// node is one FP-tree node.
-type node struct {
-	item     int32 // dense item code, -1 at the root
-	count    int
-	parent   *node
-	children map[int32]*node
-	next     *node // header-chain link
-}
-
-// tree is an FP-tree with its header table.
-type tree struct {
-	root   *node
-	heads  map[int32]*node // item -> first node in its chain
-	counts map[int32]int   // item -> total count in this tree
-	nodes  int             // nodes allocated, for memory accounting
-}
-
-// treeNodeBytes approximates one FP-tree node's heap footprint: the
-// struct (two ints, three pointers) plus its share of the children map
-// and header/count table entries. Used only for run-control memory
-// accounting; FP-growth has no payload Bytes() of its own.
-const treeNodeBytes = 96
-
-// bytes estimates the tree's live heap footprint for the memory budget.
-func (t *tree) bytes() int64 { return int64(t.nodes) * treeNodeBytes }
-
-func newTree() *tree {
-	return &tree{
-		root:   &node{item: -1, children: map[int32]*node{}},
-		heads:  map[int32]*node{},
-		counts: map[int32]int{},
-	}
-}
-
-// insert adds a path of items (already ordered) with the given count.
-func (t *tree) insert(items []int32, count int) {
-	cur := t.root
-	for _, it := range items {
-		child, ok := cur.children[it]
-		if !ok {
-			child = &node{item: it, parent: cur, children: map[int32]*node{}}
-			child.next = t.heads[it]
-			t.heads[it] = child
-			cur.children[it] = child
-			t.nodes++
-		}
-		child.count += count
-		t.counts[it] += count
-		cur = child
-	}
-}
-
-// conditional builds the conditional tree of item it: the prefix paths of
-// every occurrence, with the occurrence counts.
-func (t *tree) conditional(it int32) *tree {
-	cond := newTree()
-	for link := t.heads[it]; link != nil; link = link.next {
-		var path []int32
-		for p := link.parent; p.item >= 0; p = p.parent {
-			path = append(path, p.item)
-		}
-		for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
-			path[l], path[r] = path[r], path[l]
-		}
-		if len(path) > 0 {
-			cond.insert(path, link.count)
-		}
-	}
-	return cond
-}
-
 // Mine runs FP-growth over the recoded database with the given absolute
 // minimum support. Options.Workers parallelizes the top-level header
 // loop; Representation is recorded but unused (FP-growth is horizontal).
@@ -110,7 +43,7 @@ func (t *tree) conditional(it int32) *tree {
 // When opt.Control is set the run is cancellable and budgeted: the
 // header loop drains at chunk boundaries, the recursion checks the stop
 // flag per conditional tree, the global and conditional FP-trees are
-// charged against the memory budget (estimated at treeNodeBytes per
+// charged against the memory budget (estimated at nodeset.TreeNodeBytes per
 // node — FP-growth has no diffset form, so a breach always stops with a
 // *runctl.BudgetError rather than degrading), and emitted itemsets are
 // counted against MaxItemsets.
@@ -155,7 +88,7 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 	// by rank. The stop flag is polled every insertStride transactions so
 	// a cancelled run does not first pay for the whole tree.
 	const insertStride = 1024
-	t := newTree()
+	t := nodeset.NewTreeSized(n)
 	buf := make([]int32, 0, 64)
 	for tid, tr := range rec.DB.Transactions {
 		if tid%insertStride == 0 && rc.Stopped() {
@@ -166,9 +99,9 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 			buf = append(buf, int32(it))
 		}
 		slices.SortFunc(buf, func(a, b int32) int { return cmp.Compare(rank[a], rank[b]) })
-		t.insert(buf, 1)
+		t.Insert(buf, 1)
 	}
-	rc.ChargeMem(t.bytes())
+	rc.ChargeMem(t.Bytes())
 	// FP-growth cannot degrade to diffsets, so enforce the memory budget
 	// directly even on runs that requested degradation.
 	if err := rc.CheckMemory(); err != nil {
@@ -201,12 +134,12 @@ func Mine(rec *dataset.Recoded, minSup int, opt core.Options) (*core.Result, err
 		m := &grower{rank: rank, minSup: minSup, rc: rc}
 		pattern := itemset.New(itemset.Item(it))
 		m.emit(pattern, rec.Items[it].Support)
-		cond := t.conditional(it)
-		m.work += int64(4 * len(cond.counts))
-		if len(cond.counts) > 0 {
-			rc.ChargeMem(cond.bytes())
+		cond := t.Conditional(it)
+		m.work += int64(4 * len(cond.Items()))
+		if len(cond.Items()) > 0 {
+			rc.ChargeMem(cond.Bytes())
 			m.grow(cond, pattern)
-			rc.ChargeMem(-cond.bytes())
+			rc.ChargeMem(-cond.Bytes())
 		}
 		phase.Add(i, m.work, 0, m.work)
 		emitted.Add(int64(len(m.out)))
@@ -248,30 +181,27 @@ func (g *grower) emit(items itemset.Itemset, support int) {
 // grow recursively mines a conditional tree under the given suffix,
 // checking the stop flag per conditional tree and charging each one
 // against the memory budget for its lifetime.
-func (g *grower) grow(t *tree, suffix itemset.Itemset) {
+func (g *grower) grow(t *nodeset.Tree, suffix itemset.Itemset) {
 	// Visit items in reverse frequency order (deepest first).
-	items := make([]int32, 0, len(t.counts))
-	for it := range t.counts {
-		items = append(items, it)
-	}
+	items := slices.Clone(t.Items())
 	slices.SortFunc(items, func(a, b int32) int { return cmp.Compare(g.rank[b], g.rank[a]) })
 	for _, it := range items {
 		if g.rc.Stopped() {
 			return
 		}
-		support := t.counts[it]
+		support := t.Count(it)
 		if support < g.minSup {
 			continue
 		}
 		pattern := itemset.New(append(suffix.Clone(), itemset.Item(it))...)
 		g.emit(pattern, support)
-		cond := t.conditional(it)
-		g.work += int64(8 * len(cond.counts))
-		if len(cond.counts) > 0 {
-			g.rc.ChargeMem(cond.bytes())
+		cond := t.Conditional(it)
+		g.work += int64(8 * len(cond.Items()))
+		if len(cond.Items()) > 0 {
+			g.rc.ChargeMem(cond.Bytes())
 			g.rc.CheckMemory() // no degrade path; Stopped unwinds the recursion
 			g.grow(cond, pattern)
-			g.rc.ChargeMem(-cond.bytes())
+			g.rc.ChargeMem(-cond.Bytes())
 		}
 	}
 }

@@ -32,12 +32,13 @@ const (
 	Diffset
 	Hybrid
 	Tiled
+	Nodeset
 	numKinds
 )
 
 // kindNames are the wire names used by Stats.Map, matching
 // vertical.Kind.String().
-var kindNames = [numKinds]string{"tidset", "bitvector", "diffset", "hybrid", "tiled"}
+var kindNames = [numKinds]string{"tidset", "bitvector", "diffset", "hybrid", "tiled", "nodeset"}
 
 // Stats is a snapshot of the counters. The zero value is empty;
 // Sub produces the delta between two snapshots.
@@ -99,6 +100,15 @@ type Stats struct {
 	TilesSkipped int64
 	TilesSparse  int64
 	TilesDense   int64
+	// NListNodesMerged counts entries touched by the DiffNodeset merge
+	// kernels (2-itemset ancestor merges and k-itemset differences) —
+	// the nodeset analogue of TidsCompared, except the unit is a PPC
+	// tree node, which stands for every transaction sharing its path.
+	NListNodesMerged int64
+	// PPCNodesBuilt counts prefix-tree nodes assigned pre/post ranks by
+	// the PPC encoding pass. Comparing it against the database's
+	// transaction-item count shows the tree's co-occurrence compression.
+	PPCNodesBuilt int64
 }
 
 // Sub returns s − prev, field-wise.
@@ -121,6 +131,8 @@ func (s Stats) Sub(prev Stats) Stats {
 		TilesSkipped:      s.TilesSkipped - prev.TilesSkipped,
 		TilesSparse:       s.TilesSparse - prev.TilesSparse,
 		TilesDense:        s.TilesDense - prev.TilesDense,
+		NListNodesMerged:  s.NListNodesMerged - prev.NListNodesMerged,
+		PPCNodesBuilt:     s.PPCNodesBuilt - prev.PPCNodesBuilt,
 	}
 	for k := 0; k < numKinds; k++ {
 		d.NodesBuilt[k] = s.NodesBuilt[k] - prev.NodesBuilt[k]
@@ -155,6 +167,8 @@ func (s Stats) Map() map[string]int64 {
 	put("tiles_skipped", s.TilesSkipped)
 	put("tiles_sparse", s.TilesSparse)
 	put("tiles_dense", s.TilesDense)
+	put("nlist_nodes_merged", s.NListNodesMerged)
+	put("ppc_nodes_built", s.PPCNodesBuilt)
 	for k := 0; k < numKinds; k++ {
 		put("nodes_built_"+kindNames[k], s.NodesBuilt[k])
 		put("bytes_materialized_"+kindNames[k], s.BytesMaterialized[k])
@@ -181,6 +195,8 @@ type counters struct {
 	tilesSkipped    atomic.Int64
 	tilesSparse     atomic.Int64
 	tilesDense      atomic.Int64
+	nlistMerged     atomic.Int64
+	ppcNodesBuilt   atomic.Int64
 	nodesBuilt      [numKinds]atomic.Int64
 	bytesMat        [numKinds]atomic.Int64
 }
@@ -271,6 +287,8 @@ func Snapshot() Stats {
 	s.TilesSkipped = global.tilesSkipped.Load()
 	s.TilesSparse = global.tilesSparse.Load()
 	s.TilesDense = global.tilesDense.Load()
+	s.NListNodesMerged = global.nlistMerged.Load()
+	s.PPCNodesBuilt = global.ppcNodesBuilt.Load()
 	for k := 0; k < numKinds; k++ {
 		s.NodesBuilt[k] = global.nodesBuilt[k].Load()
 		s.BytesMaterialized[k] = global.bytesMat[k].Load()
@@ -400,6 +418,22 @@ func AddStripKinds(skipped, sparse, dense int) {
 		if dense != 0 {
 			global.tilesDense.Add(int64(dense))
 		}
+	}
+}
+
+// AddNListMerge accounts the entries one DiffNodeset merge kernel call
+// touched (loop exit indices, never per-element increments).
+func AddNListMerge(steps int) {
+	if Enabled() {
+		global.nlistMerged.Add(int64(steps))
+	}
+}
+
+// AddPPCNodes accounts the prefix-tree nodes one PPC encoding pass
+// assigned pre/post ranks to.
+func AddPPCNodes(n int) {
+	if Enabled() {
+		global.ppcNodesBuilt.Add(int64(n))
 	}
 }
 

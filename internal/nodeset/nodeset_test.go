@@ -1,0 +1,322 @@
+package nodeset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+)
+
+// paperExample mirrors the vertical package's 6-item example database.
+const paperExample = `1 3 4 5
+1 2 3 5
+3 5
+1 3 4
+1 2 3 5
+2 3 5
+1 2 5 6
+`
+
+func exampleRecoded(t *testing.T, minSup int) *dataset.Recoded {
+	t.Helper()
+	db, err := dataset.ReadFIMI("paper", strings.NewReader(paperExample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db.Recode(minSup)
+}
+
+// randomRecoded builds a deterministic random database: item i appears
+// in a transaction with probability falling with i, giving the skewed
+// supports the dense benchmarks have.
+func randomRecoded(tb testing.TB, seed int64, nTrans, nItems, minSup int) *dataset.Recoded {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	for t := 0; t < nTrans; t++ {
+		wrote := false
+		for i := 0; i < nItems; i++ {
+			p := 0.9 - 0.8*float64(i)/float64(nItems)
+			if rng.Float64() < p {
+				fmt.Fprintf(&sb, "%d ", i+1)
+				wrote = true
+			}
+		}
+		if !wrote {
+			fmt.Fprintf(&sb, "%d ", 1+rng.Intn(nItems))
+		}
+		sb.WriteByte('\n')
+	}
+	db, err := dataset.ReadFIMI("rand", strings.NewReader(sb.String()))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return db.Recode(minSup)
+}
+
+// horizontalSupport counts the transactions of rec containing every
+// dense code in items — the ground truth the kernels are checked
+// against.
+func horizontalSupport(rec *dataset.Recoded, items []int) int {
+	sup := 0
+	for _, tr := range rec.DB.Transactions {
+		ok := true
+		for _, want := range items {
+			if !tr.Contains(itemset.Item(want)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			sup++
+		}
+	}
+	return sup
+}
+
+// materialize expands a DiffNodeset to its sorted relabeled TID set via
+// the encoding's interval table — the degrade shim's kernel.
+func materialize(enc *Encoding, l List) []uint32 {
+	var out []uint32
+	for _, e := range l {
+		lo := enc.Lo[e.Pre]
+		for k := uint32(0); k < e.Count; k++ {
+			out = append(out, lo+k)
+		}
+	}
+	return out
+}
+
+func l1Materialize(enc *Encoding, l []L1Entry) []uint32 {
+	dn := make(List, len(l))
+	for i, e := range l {
+		dn[i] = Entry{Pre: e.Pre, Count: e.Count}
+	}
+	return materialize(enc, dn)
+}
+
+func TestEncodeInvariants(t *testing.T) {
+	for name, rec := range map[string]*dataset.Recoded{
+		"paper": exampleRecoded(t, 1),
+		"rand":  randomRecoded(t, 7, 80, 12, 2),
+	} {
+		enc := Build(rec)
+		if enc.Nodes != len(enc.Lo) {
+			t.Fatalf("%s: Nodes %d != len(Lo) %d", name, enc.Nodes, len(enc.Lo))
+		}
+		covered := make([]int, enc.Total)
+		for i, nl := range enc.NLists {
+			sum := 0
+			for k, e := range nl {
+				sum += int(e.Count)
+				if k > 0 {
+					prev := nl[k-1]
+					if e.Pre <= prev.Pre || e.Post <= prev.Post {
+						t.Fatalf("%s item %d: N-list not ascending at %d", name, i, k)
+					}
+					if prev.Pre < e.Pre && prev.Post > e.Post {
+						t.Fatalf("%s item %d: N-list is not an antichain", name, i)
+					}
+				}
+			}
+			if sum != rec.Items[i].Support {
+				t.Errorf("%s item %d: N-list count sum %d, want support %d",
+					name, i, sum, rec.Items[i].Support)
+			}
+			// The item's relabeled tidset: intervals must be disjoint,
+			// in-range, and |t(i)| = support(i).
+			tids := l1Materialize(enc, nl)
+			for k, tid := range tids {
+				if k > 0 && tids[k-1] >= tid {
+					t.Fatalf("%s item %d: materialized TIDs not strictly ascending", name, i)
+				}
+				if int(tid) >= enc.Total {
+					t.Fatalf("%s item %d: TID %d outside [0, %d)", name, i, tid, enc.Total)
+				}
+				covered[tid]++
+			}
+		}
+		// Every relabeled transaction carries at least one frequent item
+		// (empty ones never enter the tree), so every label is covered.
+		for tid, c := range covered {
+			if c == 0 {
+				t.Errorf("%s: relabeled TID %d not covered by any item", name, tid)
+			}
+		}
+	}
+}
+
+// TestKernelSupportsMatchHorizontal drives the full combine discipline
+// the miners use — ascending-code equivalence classes, 2-itemset
+// construction from N-lists, then k-itemset differences — and checks
+// every support against a horizontal count, and every materialized
+// DiffNodeset against the parent/child relabeled-tidset difference
+// (the degrade shim's exactness).
+func TestKernelSupportsMatchHorizontal(t *testing.T) {
+	for name, rec := range map[string]*dataset.Recoded{
+		"paper": exampleRecoded(t, 1),
+		"rand":  randomRecoded(t, 11, 60, 10, 2),
+	} {
+		enc := Build(rec)
+		type member struct {
+			items []int
+			dn    List
+			sup   int
+			tids  []uint32 // relabeled t(itemset), maintained as ground truth
+		}
+		var recurse func(class []member, depth int)
+		recurse = func(class []member, depth int) {
+			if depth > 4 {
+				return
+			}
+			for i := 0; i < len(class); i++ {
+				var next []member
+				for j := i + 1; j < len(class); j++ {
+					px, py := class[i], class[j]
+					dn, sum := DiffInto(py.dn, px.dn, nil)
+					child := member{
+						items: append(append([]int{}, px.items...), py.items[len(py.items)-1]),
+						dn:    dn,
+						sup:   px.sup - sum,
+					}
+					if want := horizontalSupport(rec, child.items); child.sup != want {
+						t.Fatalf("%s %v: support %d, want %d", name, child.items, child.sup, want)
+					}
+					if got := DiffSize(py.dn, px.dn); got != sum {
+						t.Fatalf("%s %v: DiffSize %d != DiffInto sum %d", name, child.items, got, sum)
+					}
+					// Degrade exactness: trans(DN(X)) = t(PX) \ t(X).
+					mat := materialize(enc, dn)
+					child.tids = diffU32(px.tids, mat)
+					if len(child.tids) != child.sup {
+						t.Fatalf("%s %v: materialized diff has %d TIDs, support %d",
+							name, child.items, len(child.tids), child.sup)
+					}
+					if child.sup >= rec.MinSup {
+						next = append(next, child)
+					}
+				}
+				recurse(next, depth+1)
+			}
+		}
+		// Level 1 → 2: the L1 ancestor-merge kernel seeds each class.
+		for x := range rec.Items {
+			xTids := l1Materialize(enc, enc.NLists[x])
+			var class []member
+			for y := x + 1; y < len(rec.Items); y++ {
+				dn, sum := DiffL1Into(enc.NLists[x], enc.NLists[y], nil)
+				sup := rec.Items[x].Support - sum
+				if want := horizontalSupport(rec, []int{x, y}); sup != want {
+					t.Fatalf("%s {%d,%d}: support %d, want %d", name, x, y, sup, want)
+				}
+				if got := rec.Items[x].Support - DiffL1Size(enc.NLists[x], enc.NLists[y]); got != sup {
+					t.Fatalf("%s {%d,%d}: DiffL1Size disagrees with DiffL1Into", name, x, y)
+				}
+				tids := diffU32(xTids, materialize(enc, dn))
+				if len(tids) != sup {
+					t.Fatalf("%s {%d,%d}: materialized diff %d TIDs, support %d",
+						name, x, y, len(tids), sup)
+				}
+				if sup >= rec.MinSup {
+					class = append(class, member{items: []int{x, y}, dn: dn, sup: sup, tids: tids})
+				}
+			}
+			recurse(class, 2)
+		}
+	}
+}
+
+func diffU32(a, b []uint32) []uint32 {
+	var out []uint32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return append(out, a[i:]...)
+}
+
+// TestBatchedMatchesPairwise: the Many kernels are semantically m
+// pairwise calls.
+func TestBatchedMatchesPairwise(t *testing.T) {
+	rec := randomRecoded(t, 3, 70, 11, 2)
+	enc := Build(rec)
+	n := len(rec.Items)
+	for x := 0; x < n-1; x++ {
+		var (
+			nys  [][]L1Entry
+			want []List
+			sums []int
+		)
+		for y := x + 1; y < n; y++ {
+			nys = append(nys, enc.NLists[y])
+			dn, sum := DiffL1Into(enc.NLists[x], enc.NLists[y], nil)
+			want = append(want, dn)
+			sums = append(sums, sum)
+		}
+		dsts := make([]List, len(nys))
+		gotSums := make([]int, len(nys))
+		DiffL1ManyInto(enc.NLists[x], nys, dsts, gotSums)
+		for i := range nys {
+			if gotSums[i] != sums[i] || !listsEqual(dsts[i], want[i]) {
+				t.Fatalf("DiffL1ManyInto block %d child %d disagrees with pairwise", x, i)
+			}
+		}
+		// k-item batch: subtract the first pair's list from the others.
+		if len(want) > 1 {
+			sub := want[0]
+			srcs := want[1:]
+			dsts := make([]List, len(srcs))
+			gotSums := make([]int, len(srcs))
+			DiffManyInto(sub, srcs, dsts, gotSums)
+			for i, src := range srcs {
+				pw, sum := DiffInto(src, sub, nil)
+				if gotSums[i] != sum || !listsEqual(dsts[i], pw) {
+					t.Fatalf("DiffManyInto block %d child %d disagrees with pairwise", x, i)
+				}
+			}
+		}
+	}
+}
+
+func listsEqual(a, b List) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestConditionalSharedTree guards the fpgrowth-shared tree surface:
+// Conditional must reproduce the prefix paths with occurrence counts.
+func TestConditionalSharedTree(t *testing.T) {
+	tr := NewTree()
+	tr.Insert([]int32{3, 2, 1}, 2)
+	tr.Insert([]int32{3, 1}, 1)
+	tr.Insert([]int32{2, 1}, 1)
+	cond := tr.Conditional(1)
+	if cond.Count(3) != 3 || cond.Count(2) != 3 {
+		t.Fatalf("conditional counts = %d/%d, want 3 for items 2 and 3", cond.Count(2), cond.Count(3))
+	}
+	if tr.NNodes() != 6 {
+		t.Fatalf("tree has %d nodes, want 6", tr.NNodes())
+	}
+	if tr.Bytes() != 6*TreeNodeBytes {
+		t.Fatalf("Bytes() = %d, want %d", tr.Bytes(), 6*TreeNodeBytes)
+	}
+}

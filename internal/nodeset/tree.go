@@ -1,0 +1,148 @@
+// Package nodeset implements the PPC-tree-encoded vertical
+// representation of Deng's DiffNodesets (PAPERS.md, arXiv:1507.01345):
+// the prefix tree of transactions is annotated with pre/post-order
+// ranks, each frequent item's occurrences become a sorted N-list of
+// {pre, post, count} triples, and itemset supports are computed by
+// linear merges over those lists. Because the tree collapses
+// co-occurring transactions into single nodes, the lists — and the
+// merges — are shorter than the equivalent tidset or diffset work on
+// exactly the dense datasets the paper targets.
+//
+// The prefix tree itself is shared with package fpgrowth: an FP-tree
+// and a PPC-tree are the same structure under different item orders,
+// so fpgrowth builds its trees through Tree/Insert/Conditional here
+// and this package adds the Encode pass on top.
+package nodeset
+
+// TreeNode is one prefix-tree node. Nodes live in the tree's slab and
+// reference each other by slab index (-1 = none): the build path is
+// the hot loop of both FP-growth and the nodeset Roots, and a slab of
+// index-linked nodes costs one allocation per doubling instead of one
+// node plus one children map per prefix, with no pointer graph for the
+// collector to trace.
+type TreeNode struct {
+	Item    int32 // dense item code, -1 at the root
+	Count   int32
+	Parent  int32
+	Child   int32 // first child (most recently used: Insert front-moves)
+	Sibling int32 // next child of Parent
+	Next    int32 // header-chain link
+}
+
+// Tree is a prefix tree of transactions with a per-item header table:
+// fpgrowth's FP-tree, and — once Encode has run over it — the PPC-tree
+// of the DiffNodeset representation. Nodes[0] is the root.
+type Tree struct {
+	Nodes  []TreeNode
+	heads  []int32 // item -> first node of its header chain, -1 if absent
+	counts []int   // item -> total count in this tree
+	items  []int32 // items present, in first-appearance order
+}
+
+// TreeNodeBytes approximates one prefix-tree node's heap footprint: the
+// 24-byte slab entry plus its share of the header/count tables. Used
+// only for run-control memory accounting.
+const TreeNodeBytes = 32
+
+// Bytes estimates the tree's live heap footprint for the memory budget.
+func (t *Tree) Bytes() int64 { return int64(t.NNodes()) * TreeNodeBytes }
+
+// NNodes is the number of item nodes (the pre/post rank space; the
+// root is not counted).
+func (t *Tree) NNodes() int { return len(t.Nodes) - 1 }
+
+// Items returns the item codes present in the tree, in first-appearance
+// order. Shared storage — callers must not mutate it.
+func (t *Tree) Items() []int32 { return t.items }
+
+// Count returns item it's total transaction count in this tree.
+func (t *Tree) Count(it int32) int {
+	if int(it) >= len(t.counts) {
+		return 0
+	}
+	return t.counts[it]
+}
+
+// NewTree returns an empty tree; tables grow on demand as items are
+// inserted.
+func NewTree() *Tree { return NewTreeSized(0) }
+
+// NewTreeSized returns an empty tree with its per-item tables presized
+// for dense codes in [0, nItems).
+func NewTreeSized(nItems int) *Tree {
+	t := &Tree{
+		Nodes:  make([]TreeNode, 1, 64),
+		heads:  make([]int32, nItems),
+		counts: make([]int, nItems),
+		items:  make([]int32, 0, nItems),
+	}
+	t.Nodes[0] = TreeNode{Item: -1, Parent: -1, Child: -1, Sibling: -1, Next: -1}
+	for i := range t.heads {
+		t.heads[i] = -1
+	}
+	return t
+}
+
+func (t *Tree) ensure(it int32) {
+	for int(it) >= len(t.heads) {
+		t.heads = append(t.heads, -1)
+		t.counts = append(t.counts, 0)
+	}
+}
+
+// Insert adds a path of items (already ordered) with the given count.
+// The matched or created child is moved to the front of its sibling
+// list, so the shared prefixes that dominate dense databases hit on
+// the first probe.
+func (t *Tree) Insert(items []int32, count int) {
+	cur := int32(0)
+	for _, it := range items {
+		t.ensure(it)
+		prev, c := int32(-1), t.Nodes[cur].Child
+		for c != -1 && t.Nodes[c].Item != it {
+			prev, c = c, t.Nodes[c].Sibling
+		}
+		if c == -1 {
+			c = int32(len(t.Nodes))
+			t.Nodes = append(t.Nodes, TreeNode{
+				Item: it, Parent: cur, Child: -1,
+				Sibling: t.Nodes[cur].Child, Next: t.heads[it],
+			})
+			t.heads[it] = c
+			t.Nodes[cur].Child = c
+		} else if prev != -1 {
+			t.Nodes[prev].Sibling = t.Nodes[c].Sibling
+			t.Nodes[c].Sibling = t.Nodes[cur].Child
+			t.Nodes[cur].Child = c
+		}
+		t.Nodes[c].Count += int32(count)
+		if t.counts[it] == 0 {
+			t.items = append(t.items, it)
+		}
+		t.counts[it] += count
+		cur = c
+	}
+}
+
+// Conditional builds the conditional tree of item it: the prefix paths
+// of every occurrence, with the occurrence counts.
+func (t *Tree) Conditional(it int32) *Tree {
+	cond := NewTreeSized(len(t.heads))
+	if int(it) >= len(t.heads) {
+		return cond
+	}
+	var path []int32
+	for link := t.heads[it]; link != -1; link = t.Nodes[link].Next {
+		path = path[:0]
+		for p := t.Nodes[link].Parent; p > 0; p = t.Nodes[p].Parent {
+			path = append(path, t.Nodes[p].Item)
+		}
+		for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+			path[l], path[r] = path[r], path[l]
+		}
+		if len(path) > 0 {
+			cond.Insert(path, int(t.Nodes[link].Count))
+		}
+	}
+	return cond
+}

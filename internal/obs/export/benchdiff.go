@@ -141,6 +141,19 @@ func StripLayout(f *BenchFile) {
 	}
 }
 
+// StripRepresentation clears the representation of every result,
+// collapsing each representation onto its (dataset, algorithm,
+// threads) base cell — the cross-representation A/B comparison
+// (-rep=nodeset against a flat-tidset or tiled baseline). DiffBench's
+// exact-itemset check then proves the two representations mine
+// identical sets on every shared cell. Only meaningful when each file
+// holds one representation per base cell.
+func StripRepresentation(f *BenchFile) {
+	for i := range f.Results {
+		f.Results[i].Representation = ""
+	}
+}
+
 // DiffBench compares old against new cell by cell. Cells present in
 // only one file are listed, not compared — CI runs a dataset subset of
 // the committed baseline, so one-sided cells are expected there.

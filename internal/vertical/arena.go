@@ -21,6 +21,7 @@ package vertical
 import (
 	"repro/internal/bitvec"
 	"repro/internal/kcount"
+	"repro/internal/nodeset"
 	"repro/internal/tidset"
 )
 
@@ -37,6 +38,7 @@ type Arena struct {
 	diffsets []*DiffsetNode
 	bitvecs  []*BitvectorNode
 	tileds   []*TiledNode
+	nodesets []*NodesetNode
 	hits     int64
 	misses   int64
 
@@ -51,6 +53,10 @@ type Arena struct {
 	batchSup      []int
 	batchTiledSrc []*tidset.Tiled
 	batchTiledDst []*tidset.Tiled
+	batchNLL1     [][]nodeset.L1Entry
+	batchNLSrc    []nodeset.List
+	batchNLDst    []nodeset.List
+	batchNLSum    []int
 	nodePys       []Node
 	nodeOut       []Node
 }
@@ -81,6 +87,10 @@ func (a *Arena) Release(n Node) {
 	case *TiledNode:
 		if len(a.tileds) < arenaMaxFree {
 			a.tileds = append(a.tileds, c)
+		}
+	case *NodesetNode:
+		if len(a.nodesets) < arenaMaxFree {
+			a.nodesets = append(a.nodesets, c)
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/dataset"
+	"repro/internal/nodeset"
 	"repro/internal/tidset"
 )
 
@@ -23,6 +24,13 @@ func payload(n Node) []tidset.TID {
 		return c.Bits.TIDs()
 	case *TiledNode:
 		return c.T.ToSet()
+	case *NodesetNode:
+		// The logical content is the relabeled TID set the lists stand
+		// for — what the degrade shim materializes.
+		if c.root {
+			return c.rootTIDs()
+		}
+		return c.diffTIDs()
 	}
 	panic(fmt.Sprintf("unknown node %T", n))
 }
@@ -64,12 +72,18 @@ func scribble(n Node) {
 		}
 	case *TiledNode:
 		c.T.Poison()
+	case *NodesetNode:
+		s := c.DN[:cap(c.DN)]
+		for i := range s {
+			s[i] = nodeset.Entry{Pre: ^uint32(0), Count: ^uint32(0)}
+		}
 	}
 }
 
 // intoKinds are the kinds with an IntoCombiner: the paper's three plus
-// the tiled layout (hybrid deliberately has none).
-func intoKinds() []Kind { return append(Kinds(), Tiled) }
+// the tiled layout and the nodeset representation (hybrid deliberately
+// has none).
+func intoKinds() []Kind { return append(Kinds(), Tiled, Nodeset) }
 
 func randomRecoded(t testing.TB, rng *rand.Rand, items, txns int) *dataset.Recoded {
 	t.Helper()

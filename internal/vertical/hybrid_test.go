@@ -21,7 +21,7 @@ func TestHybridKindPlumbing(t *testing.T) {
 	if New(Hybrid).Kind() != Hybrid {
 		t.Error("New(Hybrid).Kind")
 	}
-	if len(AllKinds()) != 5 {
+	if len(AllKinds()) != 6 {
 		t.Error("AllKinds length")
 	}
 	// Kinds stays the paper's three.

@@ -49,6 +49,8 @@ func (k Kind) String() string {
 		return "hybrid"
 	case Tiled:
 		return "tiled"
+	case Nodeset:
+		return "nodeset"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -56,9 +58,14 @@ func (k Kind) String() string {
 // Kinds lists the paper's three representations, in the paper's order.
 func Kinds() []Kind { return []Kind{Tidset, Bitvector, Diffset} }
 
-// AllKinds additionally includes the Hybrid extension (hybrid.go) and
-// the Tiled layout (tiled.go).
-func AllKinds() []Kind { return []Kind{Tidset, Bitvector, Diffset, Hybrid, Tiled} }
+// AllKinds is the canonical list of every representation the package
+// implements: the paper's three plus the Hybrid extension (hybrid.go),
+// the Tiled layout (tiled.go) and the Nodeset representation
+// (nodesetrep.go). Adding a Kind means adding it here; kinds_test.go
+// walks this slice and fails any kind missing from New, ParseKind,
+// String, the arena/batch paths or the degrade tables, so the
+// non-exhaustive switches below cannot silently skip a new entry.
+func AllKinds() []Kind { return []Kind{Tidset, Bitvector, Diffset, Hybrid, Tiled, Nodeset} }
 
 // ParseKind maps a name ("tidset", "bitvector", "diffset") to its Kind.
 func ParseKind(s string) (Kind, error) {
@@ -73,6 +80,8 @@ func ParseKind(s string) (Kind, error) {
 		return Hybrid, nil
 	case "tiled":
 		return Tiled, nil
+	case "nodeset":
+		return Nodeset, nil
 	}
 	return 0, fmt.Errorf("vertical: unknown representation %q", s)
 }
@@ -86,6 +95,16 @@ type Node interface {
 	// parent during Combine moves this many bytes.
 	Bytes() int
 }
+
+// Preparer is implemented by nodes that defer part of their payload
+// past construction (the nodeset representation's lazy 2-itemset
+// lists); Prepare forces the deferred work and is a no-op otherwise.
+// Deferral is single-owner: class-recursive miners never race on it
+// because every combine touching a node runs in the task that owns its
+// class, but level-synchronous miners share parents across blocks
+// counted in parallel, so they must Prepare every parent exactly once
+// before fanning a level out.
+type Preparer interface{ Prepare() }
 
 // Representation builds and combines Nodes of one Kind.
 type Representation interface {
@@ -119,6 +138,8 @@ func New(kind Kind) Representation {
 		return hybridRep{}
 	case Tiled:
 		return tiledRep{}
+	case Nodeset:
+		return nodesetRep{}
 	}
 	panic(fmt.Sprintf("vertical: unknown kind %d", int(kind)))
 }
@@ -258,10 +279,12 @@ func (diffsetRep) CombineSupport(px, py Node) int {
 // Degradable reports whether a run over kind can degrade to diffsets
 // mid-run when its memory budget is crossed. Diffset needs no cure and
 // Hybrid already switches per node, so the representations that can
-// blow past one blade (§V-A) qualify: the paper's tidset and bitvector
-// plus the tiled layout, whose footprint tracks the tidset's.
+// blow past one blade (§V-A) qualify: the paper's tidset and
+// bitvector, the tiled layout (footprint tracks the tidset's), and
+// the nodeset representation, whose interval table materializes exact
+// relabeled diffsets.
 func Degradable(kind Kind) bool {
-	return kind == Tidset || kind == Bitvector || kind == Tiled
+	return kind == Tidset || kind == Bitvector || kind == Tiled || kind == Nodeset
 }
 
 // DegradeChild converts a tidset or bitvector node into the equivalent
@@ -285,6 +308,13 @@ func DegradeChild(parent, child Node) Node {
 		p := parent.(*TiledNode)
 		d := p.T.DiffInto(c.T, &tidset.Tiled{})
 		return &DiffsetNode{Diff: d.AppendTo(nil), sup: c.T.Len()}
+	case *NodesetNode:
+		// The DiffNodeset already IS d(X) = t(PX) − t(X), with tree
+		// nodes standing for runs of relabeled transactions; expanding
+		// the intervals yields the exact diffset (parent unused). Every
+		// live node of a level degrades together, so the relabeled TID
+		// space is globally consistent for all later diffset combines.
+		return &DiffsetNode{Diff: c.diffTIDs(), sup: c.sup}
 	}
 	return nil
 }
@@ -300,6 +330,12 @@ func DegradeRoot(n Node, universe int) Node {
 		return &DiffsetNode{Diff: c.Bits.Not().TIDs(), sup: c.sup}
 	case *TiledNode:
 		return &DiffsetNode{Diff: c.T.ToSet().Complement(universe), sup: c.T.Len()}
+	case *NodesetNode:
+		// d(x) = D − t(x) over the relabeled universe: transactions the
+		// frequent-item filter emptied never entered the tree, so they
+		// occupy the label range above Encoding.Total and fall into the
+		// complement of every item, exactly as in the original space.
+		return &DiffsetNode{Diff: c.rootTIDs().Complement(universe), sup: c.sup}
 	}
 	return nil
 }
